@@ -1,0 +1,109 @@
+//! Criterion benchmarks for the paper's algorithms end to end: gathering
+//! (silent and talking), gossiping, and the unknown-bound feasibility run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nochatter_core::unknown::{run_unknown, EstMode, SliceEnumeration};
+use nochatter_core::{harness, BitStr, CommMode, KnownSetup};
+use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
+use nochatter_sim::WakeSchedule;
+
+fn label(v: u64) -> Label {
+    Label::new(v).unwrap()
+}
+
+fn spread(graph: nochatter_graph::Graph, labels: &[u64]) -> InitialConfiguration {
+    let n = graph.node_count();
+    let agents = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (label(l), NodeId::new((i * n / labels.len()) as u32)))
+        .collect();
+    InitialConfiguration::new(graph, agents).unwrap()
+}
+
+/// Full GatherKnownUpperBound runs across sizes (reproduces the F1 curve as
+/// wall-clock cost).
+fn gather_known(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_known");
+    for n in [6u32, 10, 14] {
+        let cfg = spread(generators::ring(n), &[2, 3]);
+        let setup = KnownSetup::for_configuration(&cfg, n, 11);
+        group.bench_with_input(BenchmarkId::new("ring_silent", n), &cfg, |b, cfg| {
+            b.iter(|| {
+                harness::run_known(cfg, &setup, CommMode::Silent, WakeSchedule::Simultaneous)
+                    .unwrap()
+            })
+        });
+    }
+    // The talking baseline on the largest instance, for the T5 ratio.
+    let cfg = spread(generators::ring(14), &[2, 3]);
+    let setup = KnownSetup::for_configuration(&cfg, 14, 11);
+    group.bench_function("ring14_talking", |b| {
+        b.iter(|| {
+            harness::run_known(&cfg, &setup, CommMode::Talking, WakeSchedule::Simultaneous)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Gather + gossip with growing message sizes (the F4 curve as wall-clock).
+fn gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip");
+    for len in [2usize, 8] {
+        let cfg = spread(generators::path(3), &[2, 3]);
+        let setup = KnownSetup::for_configuration(&cfg, 3, 3);
+        let messages: Vec<(Label, BitStr)> = cfg
+            .agents()
+            .iter()
+            .map(|&(l, _)| (l, BitStr::from_bits(vec![true; len])))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("path3", len), &messages, |b, messages| {
+            b.iter(|| {
+                harness::run_gossip_outcome(
+                    &cfg,
+                    &setup,
+                    CommMode::Silent,
+                    messages,
+                    WakeSchedule::Simultaneous,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The unknown-bound feasibility run with the truth as the first
+/// hypothesis (already millions of fast-forwarded rounds).
+fn gather_unknown(c: &mut Criterion) {
+    let truth = InitialConfiguration::new(
+        generators::path(2),
+        vec![(label(1), NodeId::new(0)), (label(2), NodeId::new(1))],
+    )
+    .unwrap();
+    c.bench_function("unknown_truth_at_1", |b| {
+        b.iter(|| {
+            run_unknown(
+                &truth,
+                SliceEnumeration::new(vec![truth.clone()]),
+                EstMode::Conservative,
+                WakeSchedule::Simultaneous,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded sampling: each iteration is a full multi-thousand-round
+    // simulation, so default sample counts would run for a long time.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = gather_known, gossip, gather_unknown
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates the reproduction's tables and figures (see `DESIGN.md` §5).
+//!
+//! ```text
+//! experiments [--quick] [ids...]
+//! experiments all            # every experiment, full sweeps
+//! experiments --quick all    # every experiment, reduced sweeps
+//! experiments t1 f3          # a subset
+//! ```
+
+use std::process::ExitCode;
+
+use nochatter_bench::{all_experiment_ids, run_experiment, ExperimentCtx};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [all | {}]", all_experiment_ids().join(" | "));
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = all_experiment_ids().iter().map(|s| s.to_string()).collect();
+    }
+    let ctx = ExperimentCtx { quick };
+    eprintln!(
+        "# nochatter experiments ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match run_experiment(id, ctx) {
+            Some(table) => {
+                print!("{}", table.to_markdown());
+                eprintln!("[{id} finished in {:?}]", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,333 @@
+//! Binary strings and the prefix-free `code`/`decode` pair (paper §2,
+//! Proposition 2.1).
+//!
+//! `code(s)` doubles every bit of `s` and appends the marker `01`:
+//! `code(ε) = 01`, `code(101) = 11 00 11 01`. The three properties the
+//! algorithms rely on (Prop. 2.1) are: codes have even length; inside a
+//! code, `01` occurs at an odd (1-based) position only at the very end; and
+//! no code is a prefix of another.
+
+use std::fmt;
+
+use nochatter_graph::Label;
+
+/// An immutable-ish binary string over `{0, 1}`.
+///
+/// Ordering is lexicographic (`false < true`, prefixes sort first), which is
+/// the order `Communicate` uses to select the transmitted string.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_core::BitStr;
+/// use nochatter_graph::Label;
+///
+/// let x = BitStr::from_label(Label::new(5).unwrap()); // 101
+/// let code = x.code();
+/// assert_eq!(code.to_string(), "11001101");
+/// assert_eq!(code.decode().unwrap(), x);
+/// assert_eq!(code.decode().unwrap().to_label(), Label::new(5));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BitStr {
+    bits: Vec<bool>,
+}
+
+impl BitStr {
+    /// The empty string `ε`.
+    pub fn empty() -> Self {
+        BitStr { bits: Vec::new() }
+    }
+
+    /// Wraps explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        BitStr { bits }
+    }
+
+    /// Parses from ASCII `'0'`/`'1'`; any other character yields `None`.
+    pub fn parse(s: &str) -> Option<Self> {
+        s.chars()
+            .map(|c| match c {
+                '0' => Some(false),
+                '1' => Some(true),
+                _ => None,
+            })
+            .collect::<Option<Vec<bool>>>()
+            .map(BitStr::from_bits)
+    }
+
+    /// The binary representation of a label (MSB first, no leading zeros).
+    pub fn from_label(label: Label) -> Self {
+        BitStr { bits: label.bits() }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the string is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The `i`-th bit, **1-based** as in the paper (`s[1]` is the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or beyond the length.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i >= 1 && i <= self.bits.len(), "1-based index out of range");
+        self.bits[i - 1]
+    }
+
+    /// The bits as a slice (0-based).
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// The substring `s[i, j]` (1-based, inclusive); empty if the range is
+    /// invalid, as the paper stipulates.
+    pub fn slice(&self, i: usize, j: usize) -> BitStr {
+        if i > j || i == 0 || j > self.bits.len() {
+            return BitStr::empty();
+        }
+        BitStr {
+            bits: self.bits[i - 1..j].to_vec(),
+        }
+    }
+
+    /// `code(self)`: every bit doubled, then `01`.
+    pub fn code(&self) -> BitStr {
+        let mut bits = Vec::with_capacity(2 * self.bits.len() + 2);
+        for &b in &self.bits {
+            bits.push(b);
+            bits.push(b);
+        }
+        bits.push(false);
+        bits.push(true);
+        BitStr { bits }
+    }
+
+    /// `decode(self)`: the inverse of [`BitStr::code`]; `None` if `self` is
+    /// not a valid code.
+    pub fn decode(&self) -> Option<BitStr> {
+        let n = self.bits.len();
+        if n < 2 || !n.is_multiple_of(2) {
+            return None;
+        }
+        if self.bits[n - 2] || !self.bits[n - 1] {
+            return None; // must end in 01
+        }
+        let mut out = Vec::with_capacity(n / 2 - 1);
+        for pair in self.bits[..n - 2].chunks(2) {
+            if pair[0] != pair[1] {
+                return None;
+            }
+            out.push(pair[0]);
+        }
+        Some(BitStr { bits: out })
+    }
+
+    /// Interprets the bits as the binary representation (MSB first) of a
+    /// positive integer; `None` if empty, if there is a leading zero, or on
+    /// overflow.
+    pub fn to_label(&self) -> Option<Label> {
+        if self.bits.is_empty() || !self.bits[0] || self.bits.len() > 64 {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for &b in &self.bits {
+            v = (v << 1) | u64::from(b);
+        }
+        Label::new(v)
+    }
+
+    /// Whether `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &BitStr) -> bool {
+        other.bits.len() >= self.bits.len() && other.bits[..self.bits.len()] == self.bits[..]
+    }
+
+    /// Pads with 1-bits up to `len` (used to express `σ·1^{i-|σ|}`).
+    pub fn padded_with_ones(&self, len: usize) -> BitStr {
+        let mut bits = self.bits.clone();
+        while bits.len() < len {
+            bits.push(true);
+        }
+        BitStr { bits }
+    }
+
+    /// Finds the unique odd (1-based) position `z < len` with
+    /// `self[z, z+1] = 01` and decodes the prefix `self[1, z+1]`, as
+    /// Algorithm 3 lines 20–22 do to extract a label from the string
+    /// returned by `Communicate`. Returns the decoded string if present and
+    /// well-formed.
+    pub fn extract_terminated_code(&self) -> Option<BitStr> {
+        let n = self.bits.len();
+        let mut z = 1;
+        while z < n {
+            if !self.bits[z - 1] && self.bits[z] {
+                return self.slice(1, z + 1).decode();
+            }
+            z += 2;
+        }
+        None
+    }
+}
+
+impl fmt::Display for BitStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return write!(f, "ε");
+        }
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitStr({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> BitStr {
+        BitStr::parse(s).unwrap()
+    }
+
+    #[test]
+    fn code_of_empty_is_01() {
+        assert_eq!(BitStr::empty().code(), bits("01"));
+    }
+
+    #[test]
+    fn code_doubles_and_terminates() {
+        assert_eq!(bits("101").code(), bits("11001101"));
+        assert_eq!(bits("0").code(), bits("0001"));
+    }
+
+    #[test]
+    fn decode_inverts_code() {
+        for s in ["", "0", "1", "01", "110", "10101", "0000", "1111111"] {
+            let b = bits(s);
+            assert_eq!(b.code().decode(), Some(b));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(bits("0").decode(), None); // odd length
+        assert_eq!(bits("11").decode(), None); // no 01 terminator
+        assert_eq!(bits("1001").decode(), None); // mismatched pair
+        assert_eq!(BitStr::empty().decode(), None);
+    }
+
+    #[test]
+    fn proposition_2_1_even_length() {
+        for v in 1u64..200 {
+            let c = BitStr::from_label(Label::new(v).unwrap()).code();
+            assert_eq!(c.len() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn proposition_2_1_odd_01_only_at_end() {
+        for v in 1u64..200 {
+            let c = BitStr::from_label(Label::new(v).unwrap()).code();
+            let mut z = 1;
+            while z < c.len() {
+                let is_01 = !c.bit(z) && c.bit(z + 1);
+                assert_eq!(is_01, z + 1 == c.len(), "v={v} z={z}");
+                z += 2;
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_2_1_prefix_free() {
+        let codes: Vec<BitStr> = (1u64..128)
+            .map(|v| BitStr::from_label(Label::new(v).unwrap()).code())
+            .collect();
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_prefix_of(b), "code {i} prefixes code {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_round_trip() {
+        for v in 1u64..300 {
+            let l = Label::new(v).unwrap();
+            assert_eq!(BitStr::from_label(l).to_label(), Some(l));
+        }
+    }
+
+    #[test]
+    fn to_label_rejects_leading_zero_and_empty() {
+        assert_eq!(bits("01").to_label(), None);
+        assert_eq!(BitStr::empty().to_label(), None);
+    }
+
+    #[test]
+    fn slice_is_one_based_inclusive_and_total() {
+        let s = bits("10110");
+        assert_eq!(s.slice(1, 3), bits("101"));
+        assert_eq!(s.slice(4, 5), bits("10"));
+        assert_eq!(s.slice(3, 2), BitStr::empty());
+        assert_eq!(s.slice(0, 2), BitStr::empty());
+        assert_eq!(s.slice(2, 9), BitStr::empty());
+    }
+
+    #[test]
+    fn extract_terminated_code_finds_padded_codes() {
+        // l = code(101) · 1^4, as Communicate would return for i = 12.
+        let l = bits("101").code().padded_with_ones(12);
+        assert_eq!(l.extract_terminated_code(), Some(bits("101")));
+        // All-ones carries no code.
+        assert_eq!(bits("111111").extract_terminated_code(), None);
+    }
+
+    #[test]
+    fn lexicographic_order_matches_paper() {
+        // Codes are compared lexicographically by Communicate; shorter
+        // prefix-incomparable strings compare bitwise.
+        assert!(bits("0001") < bits("0011"));
+        assert!(bits("1100") < bits("1101"));
+        // The lexicographically smallest code among a set belongs to the
+        // agent Communicate elects — note this need NOT be the smallest
+        // label: code(5) = 11001101 sorts before code(3) = 111101.
+        let codes: Vec<BitStr> = [5u64, 3, 12]
+            .iter()
+            .map(|&v| BitStr::from_label(Label::new(v).unwrap()).code())
+            .collect();
+        let min = codes.iter().min().unwrap();
+        assert_eq!(min, &BitStr::from_label(Label::new(5).unwrap()).code());
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        assert_eq!(bits("0101").to_string(), "0101");
+        assert_eq!(BitStr::empty().to_string(), "ε");
+    }
+
+    #[test]
+    fn padding_never_shortens() {
+        let s = bits("1100");
+        assert_eq!(s.padded_with_ones(2), s);
+        assert_eq!(s.padded_with_ones(6), bits("110011"));
+    }
+}

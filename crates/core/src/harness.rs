@@ -1,0 +1,257 @@
+//! Convenience runners wiring configurations, parameters and behaviors into
+//! the engine — used by tests, examples and the benchmark harness.
+
+use std::sync::{Arc, Mutex};
+
+use nochatter_graph::{InitialConfiguration, Label};
+use nochatter_sim::{Engine, RunOutcome, Sensing, SimError, WakeSchedule};
+
+use crate::codec::BitStr;
+use crate::gossip::{GossipKnownUpperBound, GossipReport};
+use crate::known::{CommMode, GatherKnownUpperBound};
+use crate::params::KnownParams;
+
+/// Bundled parameters for known-upper-bound runs.
+#[derive(Clone, Debug)]
+pub struct KnownSetup {
+    params: KnownParams,
+}
+
+impl KnownSetup {
+    /// Builds parameters whose exploration sequence is certified for the
+    /// configuration's graph, with the declared upper bound `n_upper`
+    /// (clamped up to the true size — `N` must be an upper bound).
+    pub fn for_configuration(cfg: &InitialConfiguration, n_upper: u32, seed: u64) -> Self {
+        let n = n_upper.max(cfg.size() as u32);
+        KnownSetup {
+            params: KnownParams::for_corpus(n, std::slice::from_ref(cfg.graph()), seed),
+        }
+    }
+
+    /// Wraps explicit parameters.
+    pub fn from_params(params: KnownParams) -> Self {
+        KnownSetup { params }
+    }
+
+    /// The underlying timing parameters.
+    pub fn params(&self) -> &KnownParams {
+        &self.params
+    }
+}
+
+fn sensing_for(mode: CommMode) -> Sensing {
+    match mode {
+        CommMode::Silent => Sensing::Weak,
+        CommMode::Talking => Sensing::Traditional,
+    }
+}
+
+/// Runs `GatherKnownUpperBound` for every agent of `cfg` under the given
+/// wake schedule; the round limit is derived from the paper's complexity
+/// bound, so hitting it means a bug rather than slowness.
+///
+/// # Errors
+///
+/// Propagates engine setup or protocol errors.
+pub fn run_known(
+    cfg: &InitialConfiguration,
+    setup: &KnownSetup,
+    mode: CommMode,
+    schedule: WakeSchedule,
+) -> Result<RunOutcome, SimError> {
+    let mut engine = Engine::new(cfg.graph());
+    engine.set_sensing(sensing_for(mode));
+    for &(label, start) in cfg.agents() {
+        engine.add_agent(
+            label,
+            start,
+            Box::new(
+                GatherKnownUpperBound::with_mode(setup.params.clone(), label, mode)
+                    .into_behavior(),
+            ),
+        );
+    }
+    engine.set_wake_schedule(schedule);
+    let limit = setup.params.round_limit(cfg.smallest_label_bit_len());
+    engine.run(limit)
+}
+
+/// Runs the composed gather-then-gossip algorithm and returns the outcome
+/// plus each agent's final [`GossipReport`] (in configuration label order).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if `messages` does not cover exactly the configuration's labels.
+pub fn run_gossip_outcome(
+    cfg: &InitialConfiguration,
+    setup: &KnownSetup,
+    mode: CommMode,
+    messages: &[(Label, BitStr)],
+    schedule: WakeSchedule,
+) -> Result<(RunOutcome, Vec<(Label, GossipReport)>), SimError> {
+    assert_eq!(
+        messages.len(),
+        cfg.agent_count(),
+        "one message per agent required"
+    );
+    let mut engine = Engine::new(cfg.graph());
+    engine.set_sensing(sensing_for(mode));
+    let sinks: Vec<(Label, Arc<Mutex<Option<GossipReport>>>)> = cfg
+        .agents()
+        .iter()
+        .map(|&(label, _)| (label, Arc::new(Mutex::new(None))))
+        .collect();
+    for (idx, &(label, start)) in cfg.agents().iter().enumerate() {
+        let payload = messages
+            .iter()
+            .find(|(l, _)| *l == label)
+            .unwrap_or_else(|| panic!("no message for agent {label}"))
+            .1
+            .clone();
+        let sink = Arc::clone(&sinks[idx].1);
+        let proc_ = GossipKnownUpperBound::new(setup.params.clone(), label, payload, mode);
+        let behavior = nochatter_sim::proc::ProcBehavior::mapping(proc_, move |report| {
+            let leader = report.leader;
+            *sink.lock().expect("sink poisoned") = Some(report);
+            nochatter_sim::Declaration::with_leader(leader)
+        });
+        engine.add_agent(label, start, Box::new(behavior));
+    }
+    engine.set_wake_schedule(schedule);
+    let max_code_len = messages
+        .iter()
+        .map(|(_, m)| 2 * m.len() as u64 + 2)
+        .max()
+        .unwrap_or(2);
+    let gather_limit = setup.params.round_limit(cfg.smallest_label_bit_len());
+    // Gossip cost: for each delivered message, the length budget climbs
+    // 2, 4, ..., |σ| with Communicate cost 5jT — quadratic in the code
+    // length, linear in the team size.
+    let t = setup.params.t_explo();
+    let per_message = 5 * t * (max_code_len / 2 + 1) * (max_code_len + 2);
+    let limit = gather_limit + per_message * cfg.agent_count() as u64 + 100 * t;
+    let outcome = engine.run(limit)?;
+    let reports = sinks
+        .into_iter()
+        .map(|(label, sink)| {
+            let report = sink
+                .lock()
+                .expect("sink poisoned")
+                .clone()
+                .unwrap_or_else(|| panic!("agent {label} produced no gossip report"));
+            (label, report)
+        })
+        .collect();
+    Ok((outcome, reports))
+}
+
+/// Like [`run_gossip_outcome`] but returning only the per-agent reports.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run_gossip(
+    cfg: &InitialConfiguration,
+    setup: &KnownSetup,
+    mode: CommMode,
+    messages: &[(Label, BitStr)],
+    schedule: WakeSchedule,
+) -> Result<Vec<(Label, GossipReport)>, SimError> {
+    run_gossip_outcome(cfg, setup, mode, messages, schedule).map(|(_, reports)| reports)
+}
+
+/// Runs the zero-knowledge `GossipUnknownUpperBound` for every agent of
+/// `cfg` against the enumeration; returns the outcome and the per-agent
+/// reports (insertion order).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Panics
+///
+/// Panics if `messages` does not cover exactly the configuration's labels
+/// or the schedule cannot be built.
+pub fn run_gossip_unknown(
+    cfg: &InitialConfiguration,
+    omega: std::sync::Arc<dyn crate::unknown::ConfigEnumeration>,
+    messages: &[(Label, BitStr)],
+    schedule: WakeSchedule,
+) -> Result<
+    (
+        RunOutcome,
+        Vec<(Label, crate::gossip::UnknownGossipReport)>,
+    ),
+    SimError,
+> {
+    use crate::gossip::GossipUnknownUpperBound;
+    use crate::unknown::{EstMode, GatherUnknownUpperBound, UnknownSchedule};
+
+    assert_eq!(
+        messages.len(),
+        cfg.agent_count(),
+        "one message per agent required"
+    );
+    let unknown_schedule = std::sync::Arc::new(
+        UnknownSchedule::new(omega).expect("schedule must fit u64 for this horizon"),
+    );
+    let graph = std::sync::Arc::new(cfg.graph().clone());
+    let mut engine = Engine::new(cfg.graph());
+    let sinks: Vec<(
+        Label,
+        Arc<Mutex<Option<crate::gossip::UnknownGossipReport>>>,
+    )> = cfg
+        .agents()
+        .iter()
+        .map(|&(l, _)| (l, Arc::new(Mutex::new(None))))
+        .collect();
+    for (idx, &(label, start)) in cfg.agents().iter().enumerate() {
+        let payload = messages
+            .iter()
+            .find(|(l, _)| *l == label)
+            .unwrap_or_else(|| panic!("no message for agent {label}"))
+            .1
+            .clone();
+        let gather = GatherUnknownUpperBound::new(
+            label,
+            start,
+            std::sync::Arc::clone(&graph),
+            std::sync::Arc::clone(&unknown_schedule),
+            EstMode::Conservative,
+        );
+        let sink = Arc::clone(&sinks[idx].1);
+        let behavior = nochatter_sim::proc::ProcBehavior::mapping(
+            GossipUnknownUpperBound::new(gather, payload),
+            move |report: crate::gossip::UnknownGossipReport| {
+                let leader = report.gathering.leader;
+                let size = report.gathering.size;
+                *sink.lock().expect("sink poisoned") = Some(report);
+                nochatter_sim::Declaration {
+                    leader: Some(leader),
+                    size: Some(size),
+                }
+            },
+        );
+        engine.add_agent(label, start, Box::new(behavior));
+    }
+    engine.set_wake_schedule(schedule);
+    // The gossip term is negligible next to the unknown-bound budgets.
+    let limit = unknown_schedule.round_limit().saturating_mul(2);
+    let outcome = engine.run(limit)?;
+    let reports = sinks
+        .into_iter()
+        .map(|(label, sink)| {
+            let report = sink
+                .lock()
+                .expect("sink poisoned")
+                .clone()
+                .unwrap_or_else(|| panic!("agent {label} produced no gossip report"));
+            (label, report)
+        })
+        .collect();
+    Ok((outcome, reports))
+}

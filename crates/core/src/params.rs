@@ -1,0 +1,160 @@
+//! Timing parameters of the known-upper-bound algorithm.
+
+use std::sync::Arc;
+
+use nochatter_explore::{Explo, Uxs};
+
+/// Shared parameters of `GatherKnownUpperBound` and the algorithms built on
+/// it: the known upper bound `N` on the graph size and the universal
+/// exploration sequence realizing `EXPLO(N)`.
+///
+/// All the paper's duration constants derive from these:
+///
+/// * `T(EXPLO(N)) = 2 · |uxs|` — [`KnownParams::t_explo`];
+/// * `P(N, k)` — the `TZ` meeting bound, [`KnownParams::p`];
+/// * `D_k = P(N, k) + 3(k+2)·T(EXPLO(N))` — [`KnownParams::d`]
+///   (§3.2 of the paper, verbatim).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use nochatter_core::KnownParams;
+/// use nochatter_explore::Uxs;
+/// use nochatter_graph::generators;
+///
+/// let g = generators::ring(6);
+/// let uxs = Uxs::covering(std::slice::from_ref(&g), 0).unwrap();
+/// let params = KnownParams::new(8, Arc::new(uxs));
+/// assert_eq!(params.d(1), params.p(1) + 9 * params.t_explo());
+/// ```
+#[derive(Clone, Debug)]
+pub struct KnownParams {
+    n_upper: u32,
+    uxs: Arc<Uxs>,
+}
+
+impl KnownParams {
+    /// Parameters for a known upper bound `n_upper >= 2` and an exploration
+    /// sequence certified for all graphs the algorithm will run on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_upper < 2` or the sequence is empty.
+    pub fn new(n_upper: u32, uxs: Arc<Uxs>) -> Self {
+        assert!(n_upper >= 2, "the network has at least 2 nodes");
+        assert!(!uxs.is_empty(), "EXPLO needs a non-empty sequence");
+        KnownParams { n_upper, uxs }
+    }
+
+    /// Convenience constructor: builds a certified covering sequence for
+    /// `corpus` (the graphs the algorithm will be evaluated on) and wraps it
+    /// with the bound `n_upper`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if certification fails (see [`Uxs::covering`]) or
+    /// `n_upper < 2`.
+    pub fn for_corpus(n_upper: u32, corpus: &[nochatter_graph::Graph], seed: u64) -> Self {
+        let uxs = Uxs::covering(corpus, seed).expect("corpus must be coverable");
+        KnownParams::new(n_upper, Arc::new(uxs))
+    }
+
+    /// The known upper bound `N`.
+    pub fn n_upper(&self) -> u32 {
+        self.n_upper
+    }
+
+    /// The shared exploration sequence.
+    pub fn uxs(&self) -> &Arc<Uxs> {
+        &self.uxs
+    }
+
+    /// `T(EXPLO(N))`: the exact duration of one `EXPLO` execution.
+    pub fn t_explo(&self) -> u64 {
+        Explo::duration(&self.uxs)
+    }
+
+    /// `P(N, k)`: two parties running `TZ` with distinct parameters, one of
+    /// bit length `<= k`, starting at most `T/2` apart, meet within this
+    /// many rounds of the later start.
+    pub fn p(&self, k: u32) -> u64 {
+        nochatter_rendezvous::meeting_bound(&self.uxs, k)
+    }
+
+    /// `D_k = P(N, k) + 3(k+2) · T(EXPLO(N))` (paper §3.2).
+    pub fn d(&self, k: u32) -> u64 {
+        self.p(k) + 3 * (u64::from(k) + 2) * self.t_explo()
+    }
+
+    /// The paper's bound on the number of phases executed before gathering
+    /// is declared: `⌊log N⌋ + 2ℓ + 2`, where `ℓ` is the bit length of the
+    /// smallest label (Theorem 3.1).
+    pub fn phase_bound(&self, smallest_label_bits: u32) -> u32 {
+        let log_n = 31 - self.n_upper.leading_zeros(); // ⌊log2 N⌋, N >= 2
+        log_n + 2 * smallest_label_bits + 2
+    }
+
+    /// A safe engine round limit for a full run: the per-phase duration
+    /// bound `D_{i+1} + 2 D_i + (5i+6) T` summed over the phase bound, plus
+    /// wake-up slack. Exceeding this indicates a bug, not slowness.
+    pub fn round_limit(&self, smallest_label_bits: u32) -> u64 {
+        let phases = u64::from(self.phase_bound(smallest_label_bits)) + 1;
+        let worst_phase = self.d(self.phase_bound(smallest_label_bits) + 1)
+            .saturating_mul(4)
+            .saturating_add((5 * phases + 6).saturating_mul(self.t_explo()));
+        phases
+            .saturating_mul(worst_phase)
+            .saturating_add(4 * self.t_explo())
+            .saturating_mul(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nochatter_graph::generators;
+
+    fn params() -> KnownParams {
+        let corpus = vec![generators::ring(5), generators::path(4)];
+        KnownParams::for_corpus(6, &corpus, 1)
+    }
+
+    #[test]
+    fn t_explo_is_twice_sequence_length() {
+        let p = params();
+        assert_eq!(p.t_explo(), 2 * p.uxs().len() as u64);
+    }
+
+    #[test]
+    fn d_is_monotone_with_big_gaps() {
+        let p = params();
+        for k in 1..10 {
+            // The correctness proofs need D_{k+1} > D_k + 3T.
+            assert!(p.d(k + 1) > p.d(k) + 3 * p.t_explo());
+            // ...and D_k >= P(N,k) + T/2.
+            assert!(p.d(k) >= p.p(k) + p.t_explo() / 2);
+        }
+    }
+
+    #[test]
+    fn phase_bound_grows_with_label_length() {
+        let p = params();
+        // ⌊log2 6⌋ = 2, so the bound is 2 + 2ℓ + 2.
+        assert_eq!(p.phase_bound(1), 6);
+        assert_eq!(p.phase_bound(3), 10);
+    }
+
+    #[test]
+    fn round_limit_is_finite_and_dominates_d() {
+        let p = params();
+        assert!(p.round_limit(4) > p.d(p.phase_bound(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn rejects_tiny_bound() {
+        let corpus = vec![generators::path(2)];
+        KnownParams::for_corpus(1, &corpus, 0);
+    }
+}

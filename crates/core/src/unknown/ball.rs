@@ -1,0 +1,329 @@
+//! `BallTraversal` (paper Algorithm 7): the preprocessing walk of every
+//! hypothesis.
+//!
+//! The agent follows **every** port sequence of length `r_ball(h)` over the
+//! alphabet `{0..n_h-2}` from its start node, backtracking after each, with
+//! a slow wait of `w_h` rounds before every single move. This (a) wakes
+//! every dormant agent the main part could later disturb, and (b) returns
+//! `false` the moment the agent stands on a node of degree `>= n_h` —
+//! proof that the hypothesis is wrong. The slow waits are the paper's
+//! *first scheme*: they make every pre-main-part move so sluggish that
+//! agents testing hypothesis `h` can recognize (and not be confused by)
+//! agents still working on other hypotheses.
+
+use nochatter_explore::paths::Paths;
+use nochatter_graph::Port;
+use nochatter_sim::proc::{Procedure, WaitRounds};
+use nochatter_sim::{Action, Obs, Poll};
+
+use super::schedule::HypothesisSchedule;
+
+#[derive(Debug)]
+enum Stage {
+    /// Deciding what to do at the current node (checks degree, port
+    /// existence, path exhaustion).
+    Decide,
+    /// The slow wait before a forward move (the port to take afterwards).
+    ForwardWait(WaitRounds, Port),
+    /// The slow wait before a backtrack move.
+    BackWait(WaitRounds, Port),
+    Done(bool),
+}
+
+/// Algorithm 7 as a [`Procedure`]; completes with `false` iff a node of
+/// degree `>= n_h` was stood upon.
+#[derive(Debug)]
+pub struct BallTraversal {
+    n: u32,
+    w: u64,
+    paths: Paths,
+    /// The current path being followed (owned copy; `Paths` reuses its
+    /// buffer).
+    current: Vec<u32>,
+    /// Next index within `current` (0-based).
+    i: usize,
+    /// Entry ports of the moves made along the current path.
+    entries: Vec<Port>,
+    /// True while walking forward, false while backtracking.
+    forward: bool,
+    /// Whether the current path ended early (missing port).
+    exhausted_paths: bool,
+    stage: Stage,
+    /// Set when a move was just yielded so the next observation's entry
+    /// port must be recorded.
+    pending_entry: bool,
+}
+
+impl BallTraversal {
+    /// The traversal prescribed by the hypothesis schedule.
+    pub fn new(hs: &HypothesisSchedule) -> Self {
+        let mut paths = Paths::new(hs.alpha, hs.r_ball);
+        let first = paths
+            .next_path()
+            .expect("alphabet is non-empty, at least one path exists")
+            .to_vec();
+        BallTraversal {
+            n: hs.n,
+            w: hs.w,
+            paths,
+            current: first,
+            i: 0,
+            entries: Vec::new(),
+            forward: true,
+            exhausted_paths: false,
+            stage: Stage::Decide,
+            pending_entry: false,
+        }
+    }
+}
+
+impl Procedure for BallTraversal {
+    type Output = bool;
+
+    fn poll(&mut self, obs: &Obs) -> Poll<bool> {
+        if self.pending_entry {
+            self.pending_entry = false;
+            self.entries.push(
+                obs.entry_port
+                    .expect("moved last round, entry port is known"),
+            );
+        }
+        loop {
+            match &mut self.stage {
+                Stage::Decide => {
+                    if self.exhausted_paths {
+                        self.stage = Stage::Done(true);
+                        continue;
+                    }
+                    if self.forward {
+                        // Algorithm 7 line 7: abort on a high-degree node.
+                        if obs.degree >= self.n {
+                            self.stage = Stage::Done(false);
+                            continue;
+                        }
+                        if self.i >= self.current.len()
+                            || self.current[self.i] >= obs.degree
+                        {
+                            // Path finished or port missing: backtrack what
+                            // was walked.
+                            self.forward = false;
+                            continue;
+                        }
+                        let port = Port::new(self.current[self.i]);
+                        self.i += 1;
+                        self.stage = Stage::ForwardWait(WaitRounds::new(self.w), port);
+                    } else if let Some(back) = self.entries.pop() {
+                        self.stage = Stage::BackWait(WaitRounds::new(self.w), back);
+                    } else {
+                        // Back at the start: advance to the next path.
+                        match self.paths.next_path() {
+                            Some(p) => {
+                                self.current.clear();
+                                self.current.extend_from_slice(p);
+                                self.i = 0;
+                                self.forward = true;
+                            }
+                            None => self.exhausted_paths = true,
+                        }
+                    }
+                }
+                Stage::ForwardWait(wait, port) => {
+                    let port = *port;
+                    match wait.poll(obs) {
+                        Poll::Yield(a) => return Poll::Yield(a),
+                        Poll::Complete(()) => {
+                            self.stage = Stage::Decide;
+                            self.pending_entry = true;
+                            return Poll::Yield(Action::TakePort(port));
+                        }
+                    }
+                }
+                Stage::BackWait(wait, port) => {
+                    let port = *port;
+                    match wait.poll(obs) {
+                        Poll::Yield(a) => return Poll::Yield(a),
+                        Poll::Complete(()) => {
+                            self.stage = Stage::Decide;
+                            // Backtrack moves do not re-record entries.
+                            return Poll::Yield(Action::TakePort(port));
+                        }
+                    }
+                }
+                Stage::Done(b) => return Poll::Complete(*b),
+            }
+        }
+    }
+
+    fn min_wait(&self) -> u64 {
+        match &self.stage {
+            Stage::ForwardWait(w, _) | Stage::BackWait(w, _) => w.min_wait(),
+            _ => 0,
+        }
+    }
+
+    fn note_skipped(&mut self, rounds: u64) {
+        match &mut self.stage {
+            Stage::ForwardWait(w, _) | Stage::BackWait(w, _) => w.note_skipped(rounds),
+            _ => debug_assert_eq!(rounds, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unknown::enumeration::SliceEnumeration;
+    use crate::unknown::schedule::UnknownSchedule;
+    use nochatter_graph::{generators, Graph, InitialConfiguration, Label, NodeId};
+    use nochatter_sim::proc::ProcBehavior;
+    use nochatter_sim::{Declaration, Engine, TraceEvent, WakeSchedule};
+
+    fn label(v: u64) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    fn schedule_for(graph: Graph, k: usize) -> UnknownSchedule {
+        let agents = (0..k)
+            .map(|i| (label(i as u64 + 1), NodeId::new(i as u32)))
+            .collect();
+        let cfg = InitialConfiguration::new(graph, agents).unwrap();
+        UnknownSchedule::new(SliceEnumeration::new(vec![cfg])).unwrap()
+    }
+
+    /// Runs a single BallTraversal on `graph` from `start`; returns
+    /// (result, visited set, rounds).
+    fn run_bt(
+        graph: &Graph,
+        start: NodeId,
+        sched: &UnknownSchedule,
+    ) -> (bool, std::collections::HashSet<NodeId>, u64) {
+        let mut engine = Engine::new(graph);
+        engine.add_agent(
+            label(1),
+            start,
+            Box::new(ProcBehavior::mapping(
+                BallTraversal::new(sched.hypothesis(1)),
+                |ok| Declaration {
+                    leader: None,
+                    size: Some(u32::from(ok)),
+                },
+            )),
+        );
+        let other = graph.nodes().find(|&v| v != start).unwrap();
+        engine.add_agent(
+            label(2),
+            other,
+            Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+        );
+        engine.set_wake_schedule(WakeSchedule::Simultaneous);
+        engine.record_trace(1_000_000);
+        let outcome = engine.run(100_000_000).unwrap();
+        assert!(outcome.all_declared(), "ball traversal must terminate");
+        let rec = outcome.declarations[0].1.unwrap();
+        let mut visited: std::collections::HashSet<NodeId> =
+            std::iter::once(start).collect();
+        for e in outcome.trace.unwrap().events() {
+            if let TraceEvent::Move { agent, to, .. } = e {
+                if *agent == label(1) {
+                    visited.insert(*to);
+                }
+            }
+        }
+        (rec.declaration.size == Some(1), visited, rec.round)
+    }
+
+    #[test]
+    fn visits_whole_ball_and_returns_true_when_degrees_fit() {
+        // Hypothesis graph: 3-ring (n=3). Real graph: 3-ring (degrees 2 <=
+        // n-1 = 2): traversal returns true and visits everything within the
+        // ball radius — here the whole graph.
+        let g = generators::ring(3);
+        let sched = schedule_for(g.clone(), 2);
+        let (ok, visited, rounds) = run_bt(&g, NodeId::new(0), &sched);
+        assert!(ok);
+        assert_eq!(visited.len(), 3);
+        assert!(rounds <= sched.hypothesis(1).t_bt, "within the budget");
+    }
+
+    #[test]
+    fn aborts_on_high_degree_node() {
+        // Hypothesis: path(2) => n = 2, degree cap 1. Real graph: star(4)
+        // whose center has degree 3: the traversal must return false.
+        let sched = schedule_for(generators::path(2), 2);
+        let g = generators::star(4);
+        // Starting at a leaf (degree 1 < 2 is fine), the first step lands on
+        // the center (degree 3 >= 2) and the next decision aborts.
+        let (ok, _, _) = run_bt(&g, NodeId::new(1), &sched);
+        assert!(!ok);
+        // Starting at the center aborts before any move.
+        let (ok, visited, rounds) = run_bt(&g, NodeId::new(0), &sched);
+        assert!(!ok);
+        assert_eq!(visited.len(), 1, "no move needed");
+        assert_eq!(rounds, 0, "aborts on the first observation");
+    }
+
+    #[test]
+    fn true_traversal_ends_where_it_started() {
+        let g = generators::ring(3);
+        let sched = schedule_for(g.clone(), 2);
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(1),
+            Box::new(ProcBehavior::declaring(BallTraversal::new(
+                sched.hypothesis(1),
+            ))),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+        );
+        let outcome = engine.run(100_000_000).unwrap();
+        assert!(outcome.all_declared());
+        assert_eq!(outcome.declarations[0].1.unwrap().node, NodeId::new(1));
+    }
+
+    #[test]
+    fn every_move_is_preceded_by_the_slow_wait() {
+        let g = generators::ring(3);
+        let sched = schedule_for(g.clone(), 2);
+        let w = sched.hypothesis(1).w;
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(BallTraversal::new(
+                sched.hypothesis(1),
+            ))),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(2),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+        );
+        engine.record_trace(2_000_000);
+        let outcome = engine.run(100_000_000).unwrap();
+        let trace = outcome.trace.unwrap();
+        let move_rounds: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Move { agent, round, .. } if *agent == label(1) => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert!(!move_rounds.is_empty());
+        // First move happens after w waits; consecutive moves are >= w+1
+        // rounds apart.
+        assert!(move_rounds[0] >= w);
+        for pair in move_rounds.windows(2) {
+            assert!(
+                pair[1] - pair[0] > w,
+                "moves at {} and {} closer than the slow wait {w}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}

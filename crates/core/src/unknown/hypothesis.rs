@@ -1,0 +1,294 @@
+//! `Hypothesis` (paper Algorithm 6): one full test of "the initial
+//! configuration is `φ_h`".
+//!
+//! First part (the optimistic path): `BallTraversal` (wake and scan the
+//! neighborhood), wait `S_h` (let stragglers catch up to hypothesis `h`),
+//! `MoveToCentralNode`, `StarCheck`, `EnsureCleanExploration`,
+//! `GraphSizeCheck` — any failure short-circuits to the second part. A
+//! `GraphSizeCheck` success makes the whole hypothesis succeed.
+//!
+//! Second part (the cleanup): retrace *every* entry port of the first part
+//! in reverse, one slow (`w_h`-separated) move at a time — returning the
+//! agent to its start node — then pad so the hypothesis consumes exactly
+//! `T_h` rounds. The exact budget is what keeps all agents' hypothesis
+//! clocks in lockstep (Lemma 4.5).
+
+use nochatter_graph::{InitialConfiguration, Label, Port};
+use nochatter_sim::proc::{Procedure, WaitRounds};
+use nochatter_sim::{Action, Obs, Poll};
+
+use super::ball::BallTraversal;
+use super::ece::EnsureCleanExploration;
+use super::gsc::GraphSizeCheck;
+use super::mtcn::MoveToCentralNode;
+use super::oracle::{EstMode, SharedTracker};
+use super::schedule::HypothesisSchedule;
+use super::starcheck::StarCheck;
+
+/// How a hypothesis concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HypothesisVerdict {
+    /// `Hypothesis(h)` returned true: gathering is achieved.
+    True {
+        /// Whether any `EST+` execution during this hypothesis was dirty.
+        dirty_est: bool,
+    },
+    /// `Hypothesis(h)` returned false after exactly `T_h` rounds.
+    False {
+        /// Whether any `EST+` execution during this hypothesis was dirty.
+        dirty_est: bool,
+    },
+}
+
+#[derive(Debug)]
+enum Stage {
+    Ball(BallTraversal),
+    /// Algorithm 6 line 4: wait `S_h`.
+    Line4(WaitRounds),
+    Mtcn(MoveToCentralNode),
+    Star(StarCheck),
+    Ece(EnsureCleanExploration),
+    Gsc(GraphSizeCheck),
+    /// The slow wait before the next unwind move.
+    UnwindWait(WaitRounds, Port),
+    /// Decide the next unwind step (or start padding).
+    UnwindNext,
+    /// Algorithm 6 line 22: pad to exactly `T_h`.
+    Pad(WaitRounds),
+}
+
+/// Algorithm 6 as a [`Procedure`].
+#[derive(Debug)]
+pub struct Hypothesis {
+    cfg: InitialConfiguration,
+    hs: HypothesisSchedule,
+    label: Label,
+    mode: EstMode,
+    /// Ablation switch: skip `EnsureCleanExploration` (never set by the
+    /// faithful algorithm; exercised by experiment A2 to show the shield is
+    /// load-bearing).
+    skip_ece: bool,
+    tracker: SharedTracker,
+    /// Entry ports of every first-part move, in order of entrance
+    /// (Algorithm 6 line 16).
+    trail: Vec<Port>,
+    pending_trail: bool,
+    in_first_part: bool,
+    /// Move instructions consumed so far within this hypothesis.
+    rounds_spent: u64,
+    dirty_est: bool,
+    stage: Stage,
+}
+
+impl Hypothesis {
+    /// A fresh test of hypothesis `φ_h` by the agent with the given label.
+    pub fn new(
+        cfg: InitialConfiguration,
+        hs: HypothesisSchedule,
+        label: Label,
+        mode: EstMode,
+        tracker: SharedTracker,
+    ) -> Self {
+        Self::with_shield(cfg, hs, label, mode, tracker, true)
+    }
+
+    /// Like [`Hypothesis::new`] but with the clean-exploration shield
+    /// optionally disabled (`shield = false` skips Algorithm 10).
+    pub fn with_shield(
+        cfg: InitialConfiguration,
+        hs: HypothesisSchedule,
+        label: Label,
+        mode: EstMode,
+        tracker: SharedTracker,
+        shield: bool,
+    ) -> Self {
+        let ball = BallTraversal::new(&hs);
+        Hypothesis {
+            cfg,
+            hs,
+            label,
+            mode,
+            skip_ece: !shield,
+            tracker,
+            trail: Vec::new(),
+            pending_trail: false,
+            in_first_part: true,
+            rounds_spent: 0,
+            dirty_est: false,
+            stage: Stage::Ball(ball),
+        }
+    }
+
+    /// The exact round budget `T_h` of this hypothesis.
+    pub fn budget(&self) -> u64 {
+        self.hs.t_h
+    }
+
+    fn emit(&mut self, action: Action) -> Poll<HypothesisVerdict> {
+        self.rounds_spent += 1;
+        if self.in_first_part {
+            if let Action::TakePort(_) = action {
+                self.pending_trail = true;
+            }
+        }
+        Poll::Yield(action)
+    }
+}
+
+impl Procedure for Hypothesis {
+    type Output = HypothesisVerdict;
+
+    fn poll(&mut self, obs: &Obs) -> Poll<HypothesisVerdict> {
+        if self.pending_trail {
+            self.pending_trail = false;
+            self.trail.push(
+                obs.entry_port
+                    .expect("moved last round, entry port is known"),
+            );
+        }
+        loop {
+            match &mut self.stage {
+                Stage::Ball(b) => match b.poll(obs) {
+                    Poll::Yield(a) => return self.emit(a),
+                    Poll::Complete(true) => {
+                        self.stage = Stage::Line4(WaitRounds::new(self.hs.s));
+                    }
+                    Poll::Complete(false) => {
+                        self.in_first_part = false;
+                        self.stage = Stage::UnwindNext;
+                    }
+                },
+                Stage::Line4(w) => match w.poll(obs) {
+                    Poll::Yield(a) => return self.emit(a),
+                    Poll::Complete(()) => {
+                        self.stage = Stage::Mtcn(MoveToCentralNode::new(
+                            &self.cfg, &self.hs, self.label,
+                        ));
+                    }
+                },
+                Stage::Mtcn(m) => match m.poll(obs) {
+                    Poll::Yield(a) => return self.emit(a),
+                    Poll::Complete(true) => {
+                        let rank = self
+                            .cfg
+                            .rank(self.label)
+                            .expect("MoveToCentralNode succeeded, label is in φ_h");
+                        self.stage = Stage::Star(StarCheck::new(self.hs.k, rank as u32));
+                    }
+                    Poll::Complete(false) => {
+                        self.in_first_part = false;
+                        self.stage = Stage::UnwindNext;
+                    }
+                },
+                Stage::Star(s) => match s.poll(obs) {
+                    Poll::Yield(a) => return self.emit(a),
+                    Poll::Complete(true) => {
+                        if self.skip_ece {
+                            let rank = self
+                                .cfg
+                                .rank(self.label)
+                                .expect("label is in φ_h past MoveToCentralNode");
+                            self.stage = Stage::Gsc(GraphSizeCheck::new(
+                                &self.hs,
+                                rank as u32,
+                                self.mode,
+                                std::rc::Rc::clone(&self.tracker),
+                            ));
+                        } else {
+                            self.stage = Stage::Ece(EnsureCleanExploration::new(&self.hs));
+                        }
+                    }
+                    Poll::Complete(false) => {
+                        self.in_first_part = false;
+                        self.stage = Stage::UnwindNext;
+                    }
+                },
+                Stage::Ece(e) => match e.poll(obs) {
+                    Poll::Yield(a) => return self.emit(a),
+                    Poll::Complete(true) => {
+                        let rank = self
+                            .cfg
+                            .rank(self.label)
+                            .expect("label is in φ_h past MoveToCentralNode");
+                        self.stage = Stage::Gsc(GraphSizeCheck::new(
+                            &self.hs,
+                            rank as u32,
+                            self.mode,
+                            std::rc::Rc::clone(&self.tracker),
+                        ));
+                    }
+                    Poll::Complete(false) => {
+                        self.in_first_part = false;
+                        self.stage = Stage::UnwindNext;
+                    }
+                },
+                Stage::Gsc(g) => match g.poll(obs) {
+                    Poll::Yield(a) => return self.emit(a),
+                    Poll::Complete(out) => {
+                        self.dirty_est |= out.dirty;
+                        if out.b {
+                            return Poll::Complete(HypothesisVerdict::True {
+                                dirty_est: self.dirty_est,
+                            });
+                        }
+                        self.in_first_part = false;
+                        self.stage = Stage::UnwindNext;
+                    }
+                },
+                Stage::UnwindNext => match self.trail.pop() {
+                    Some(port) => {
+                        self.stage = Stage::UnwindWait(WaitRounds::new(self.hs.w), port);
+                    }
+                    None => {
+                        let remaining = self.hs.t_h.checked_sub(self.rounds_spent).expect(
+                            "hypothesis exceeded its budget T_h — schedule bound violated",
+                        );
+                        self.stage = Stage::Pad(WaitRounds::new(remaining));
+                    }
+                },
+                Stage::UnwindWait(w, port) => {
+                    let port = *port;
+                    match w.poll(obs) {
+                        Poll::Yield(a) => return self.emit(a),
+                        Poll::Complete(()) => {
+                            self.stage = Stage::UnwindNext;
+                            return self.emit(Action::TakePort(port));
+                        }
+                    }
+                }
+                Stage::Pad(w) => match w.poll(obs) {
+                    Poll::Yield(a) => return self.emit(a),
+                    Poll::Complete(()) => {
+                        debug_assert_eq!(self.rounds_spent, self.hs.t_h);
+                        return Poll::Complete(HypothesisVerdict::False {
+                            dirty_est: self.dirty_est,
+                        });
+                    }
+                },
+            }
+        }
+    }
+
+    fn min_wait(&self) -> u64 {
+        match &self.stage {
+            Stage::Ball(b) => b.min_wait(),
+            Stage::Line4(w) | Stage::Pad(w) | Stage::UnwindWait(w, _) => w.min_wait(),
+            Stage::Mtcn(m) => m.min_wait(),
+            Stage::Gsc(g) => g.min_wait(),
+            Stage::Star(_) | Stage::Ece(_) | Stage::UnwindNext => 0,
+        }
+    }
+
+    fn note_skipped(&mut self, rounds: u64) {
+        self.rounds_spent += rounds;
+        match &mut self.stage {
+            Stage::Ball(b) => b.note_skipped(rounds),
+            Stage::Line4(w) | Stage::Pad(w) | Stage::UnwindWait(w, _) => w.note_skipped(rounds),
+            Stage::Mtcn(m) => m.note_skipped(rounds),
+            Stage::Gsc(g) => g.note_skipped(rounds),
+            Stage::Star(_) | Stage::Ece(_) | Stage::UnwindNext => {
+                debug_assert_eq!(rounds, 0)
+            }
+        }
+    }
+}

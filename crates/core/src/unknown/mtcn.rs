@@ -1,0 +1,241 @@
+//! `MoveToCentralNode` (paper Algorithm 8): walk to where `φ_h` says the
+//! smallest label starts, and wait for the full hypothetical team.
+//!
+//! An agent whose label is absent from `φ_h` fails immediately. Otherwise
+//! it follows `path_h(L)` — the lexicographically smallest shortest path in
+//! the *hypothetical* map — failing if a port is missing in the real
+//! network. Arrived, it waits up to `S_h + n_h` rounds for `CurCard` to hit
+//! `k_h`, then holds another `S_h + n_h` rounds and re-checks: only a group
+//! of exactly the hypothesized size that stays intact passes.
+
+use nochatter_graph::{InitialConfiguration, Label};
+use nochatter_sim::proc::{Procedure, WaitRounds};
+use nochatter_sim::{Action, Obs, Poll};
+
+use super::schedule::HypothesisSchedule;
+
+#[derive(Debug)]
+enum Stage {
+    /// Following `path_h(L)`; the index of the next port.
+    Path(usize),
+    /// Lines 11-15: bounded wait for `CurCard == k_h`.
+    WaitForTeam(u64),
+    /// Lines 16-20: the confirmation hold.
+    Hold(WaitRounds),
+    /// Final check on the observation after the hold.
+    FinalCheck,
+    Failed,
+}
+
+/// Algorithm 8 as a [`Procedure`]; completes with whether the agent is
+/// confident it stands with exactly the hypothesized team at the central
+/// node.
+#[derive(Debug)]
+pub struct MoveToCentralNode {
+    path: Vec<nochatter_graph::Port>,
+    k: u32,
+    /// `S_h + n_h`, the two waiting windows.
+    window: u64,
+    stage: Stage,
+}
+
+impl MoveToCentralNode {
+    /// The walk prescribed by `φ_h` for `label`.
+    pub fn new(cfg: &InitialConfiguration, hs: &HypothesisSchedule, label: Label) -> Self {
+        let stage = if cfg.contains_label(label) {
+            Stage::Path(0)
+        } else {
+            // Line 3: no node labeled L in φ_h — fail without moving.
+            Stage::Failed
+        };
+        MoveToCentralNode {
+            path: cfg.path_to_central(label).unwrap_or_default(),
+            k: cfg.agent_count() as u32,
+            window: hs.s + u64::from(hs.n),
+            stage,
+        }
+    }
+}
+
+impl Procedure for MoveToCentralNode {
+    type Output = bool;
+
+    fn poll(&mut self, obs: &Obs) -> Poll<bool> {
+        loop {
+            match &mut self.stage {
+                Stage::Path(i) => {
+                    if *i >= self.path.len() {
+                        self.stage = Stage::WaitForTeam(0);
+                        continue;
+                    }
+                    let port = self.path[*i];
+                    if port.number() >= obs.degree {
+                        // Line 6: the hypothetical path does not exist here.
+                        self.stage = Stage::Failed;
+                        continue;
+                    }
+                    *i += 1;
+                    return Poll::Yield(Action::TakePort(port));
+                }
+                Stage::WaitForTeam(j) => {
+                    if obs.cur_card == self.k {
+                        self.stage = Stage::Hold(WaitRounds::new(self.window));
+                        continue;
+                    }
+                    if *j >= self.window {
+                        self.stage = Stage::Failed;
+                        continue;
+                    }
+                    *j += 1;
+                    return Poll::Yield(Action::Wait);
+                }
+                Stage::Hold(w) => match w.poll(obs) {
+                    Poll::Yield(a) => return Poll::Yield(a),
+                    Poll::Complete(()) => {
+                        self.stage = Stage::FinalCheck;
+                    }
+                },
+                Stage::FinalCheck => {
+                    return Poll::Complete(obs.cur_card == self.k);
+                }
+                Stage::Failed => return Poll::Complete(false),
+            }
+        }
+    }
+
+    fn min_wait(&self) -> u64 {
+        match &self.stage {
+            Stage::Hold(w) => w.min_wait(),
+            // WaitForTeam depends on CurCard: under identical observations
+            // it keeps waiting until the budget runs out; the final
+            // completion poll is not a wait.
+            Stage::WaitForTeam(j) => self.window.saturating_sub(*j).saturating_sub(1),
+            _ => 0,
+        }
+    }
+
+    fn note_skipped(&mut self, rounds: u64) {
+        match &mut self.stage {
+            Stage::Hold(w) => w.note_skipped(rounds),
+            Stage::WaitForTeam(j) => *j += rounds,
+            _ => debug_assert_eq!(rounds, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unknown::enumeration::SliceEnumeration;
+    use crate::unknown::schedule::UnknownSchedule;
+    use nochatter_graph::{generators, NodeId};
+    use nochatter_sim::proc::ProcBehavior;
+    use nochatter_sim::{Declaration, Engine, WakeSchedule};
+
+    fn label(v: u64) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    fn ring_cfg() -> InitialConfiguration {
+        InitialConfiguration::new(
+            generators::ring(3),
+            vec![(label(1), NodeId::new(0)), (label(2), NodeId::new(2))],
+        )
+        .unwrap()
+    }
+
+    fn run_pair(cfg: &InitialConfiguration, real: &nochatter_graph::Graph) -> Vec<(bool, NodeId)> {
+        let sched = UnknownSchedule::new(SliceEnumeration::new(vec![cfg.clone()])).unwrap();
+        let mut engine = Engine::new(real);
+        for &(l, start) in cfg.agents() {
+            engine.add_agent(
+                l,
+                start,
+                Box::new(ProcBehavior::mapping(
+                    MoveToCentralNode::new(cfg, sched.hypothesis(1), l),
+                    |ok| Declaration {
+                        leader: None,
+                        size: Some(u32::from(ok)),
+                    },
+                )),
+            );
+        }
+        engine.set_wake_schedule(WakeSchedule::Simultaneous);
+        let outcome = engine.run(100_000_000).unwrap();
+        assert!(outcome.all_declared());
+        outcome
+            .declarations
+            .iter()
+            .map(|(_, r)| {
+                let rec = r.unwrap();
+                (rec.declaration.size == Some(1), rec.node)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn true_hypothesis_gathers_team_at_central_node() {
+        let cfg = ring_cfg();
+        let results = run_pair(&cfg, &cfg.graph().clone());
+        let central = cfg.central_node();
+        for (ok, node) in results {
+            assert!(ok, "both agents must confirm the team");
+            assert_eq!(node, central);
+        }
+    }
+
+    #[test]
+    fn absent_label_fails_without_moving() {
+        let cfg = ring_cfg();
+        let sched = UnknownSchedule::new(SliceEnumeration::new(vec![cfg.clone()])).unwrap();
+        let mut proc_ = MoveToCentralNode::new(&cfg, sched.hypothesis(1), label(99));
+        let obs = Obs::synthetic(0, 2, 1, None);
+        assert_eq!(proc_.poll(&obs), Poll::Complete(false));
+    }
+
+    #[test]
+    fn missing_port_fails() {
+        // Hypothesis: 3-ring (agent 2 walks 1 step). Real graph: path(3)
+        // rearranged so the hypothesized port does not exist at a leaf.
+        let cfg = ring_cfg();
+        let real = generators::path(3);
+        // Agent at node 2 of path(3) has degree 1; path_h(2) on the ring
+        // starts with a port that may not exist, or the walk ends at the
+        // wrong place and the team never shows: either way both fail.
+        let results = run_pair(&cfg, &real);
+        assert!(results.iter().any(|(ok, _)| !ok));
+    }
+
+    #[test]
+    fn lone_agent_times_out() {
+        // Real network has the two agents far apart on a bigger ring than
+        // hypothesized; the central-node wait must expire, not hang.
+        let cfg = ring_cfg();
+        let real = generators::ring(6);
+        let sched = UnknownSchedule::new(SliceEnumeration::new(vec![cfg.clone()])).unwrap();
+        let mut engine = Engine::new(&real);
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::mapping(
+                MoveToCentralNode::new(&cfg, sched.hypothesis(1), label(1)),
+                |ok| Declaration {
+                    leader: None,
+                    size: Some(u32::from(ok)),
+                },
+            )),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(3),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+        );
+        let outcome = engine.run(100_000_000).unwrap();
+        assert!(outcome.all_declared());
+        assert_eq!(
+            outcome.declarations[0].1.unwrap().declaration.size,
+            Some(0),
+            "agent must give up after the bounded wait"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Lexicographic enumeration of bounded port sequences.
+//!
+//! The unknown-upper-bound algorithm repeatedly walks "all paths of length
+//! `r` from the set `{0, ..., a-1}`" (paper Algorithms 7 and 10, and our
+//! leashed `EST+`). This module provides the enumerator; the walking —
+//! forward while ports exist, then backtrack — is done by the procedures
+//! themselves, which differ in their waiting and abort rules.
+
+use std::fmt;
+
+/// Iterator over all sequences in `{0..alpha}^len`, in lexicographic order.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_explore::paths::Paths;
+///
+/// let mut p = Paths::new(2, 2);
+/// let mut all = Vec::new();
+/// while let Some(path) = p.next_path() {
+///     all.push(path.to_vec());
+/// }
+/// assert_eq!(all, vec![
+///     vec![0, 0], vec![0, 1],
+///     vec![1, 0], vec![1, 1],
+/// ]);
+/// ```
+#[derive(Clone)]
+pub struct Paths {
+    alpha: u32,
+    current: Vec<u32>,
+    started: bool,
+    done: bool,
+}
+
+impl Paths {
+    /// Enumerates `{0..alpha}^len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha == 0` (there are no symbols to enumerate) unless
+    /// `len == 0` too, in which case the single empty path is produced.
+    pub fn new(alpha: u32, len: u32) -> Self {
+        assert!(
+            alpha > 0 || len == 0,
+            "alphabet must be non-empty for positive lengths"
+        );
+        Paths {
+            alpha,
+            current: vec![0; len as usize],
+            started: false,
+            done: false,
+        }
+    }
+
+    /// The next path, or `None` when exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_path(&mut self) -> Option<&[u32]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.current);
+        }
+        // Odometer increment, most significant digit first (lexicographic).
+        for i in (0..self.current.len()).rev() {
+            self.current[i] += 1;
+            if self.current[i] < self.alpha {
+                return Some(&self.current);
+            }
+            self.current[i] = 0;
+        }
+        self.done = true;
+        None
+    }
+
+    /// Restarts the enumeration from the first path.
+    pub fn reset(&mut self) {
+        self.current.iter_mut().for_each(|d| *d = 0);
+        self.started = false;
+        self.done = false;
+    }
+
+    /// `alpha^len`, or `None` on overflow.
+    pub fn count(alpha: u32, len: u32) -> Option<u64> {
+        let mut acc: u64 = 1;
+        for _ in 0..len {
+            acc = acc.checked_mul(u64::from(alpha))?;
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Debug for Paths {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Paths")
+            .field("alpha", &self.alpha)
+            .field("len", &self.current.len())
+            .field("current", &self.current)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_exactly_alpha_pow_len() {
+        for (alpha, len) in [(1u32, 4u32), (2, 3), (3, 2), (4, 1)] {
+            let mut p = Paths::new(alpha, len);
+            let mut n = 0u64;
+            let mut seen = std::collections::HashSet::new();
+            while let Some(path) = p.next_path() {
+                n += 1;
+                assert!(path.iter().all(|&d| d < alpha));
+                assert!(seen.insert(path.to_vec()), "duplicate path");
+            }
+            assert_eq!(Some(n), Paths::count(alpha, len));
+        }
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let mut p = Paths::new(3, 2);
+        let mut prev: Option<Vec<u32>> = None;
+        while let Some(path) = p.next_path() {
+            if let Some(prev) = &prev {
+                assert!(prev < &path.to_vec());
+            }
+            prev = Some(path.to_vec());
+        }
+    }
+
+    #[test]
+    fn zero_length_single_empty_path() {
+        let mut p = Paths::new(3, 0);
+        assert_eq!(p.next_path(), Some(&[][..]));
+        assert_eq!(p.next_path(), None);
+        // Even with an empty alphabet.
+        let mut p = Paths::new(0, 0);
+        assert_eq!(p.next_path(), Some(&[][..]));
+        assert_eq!(p.next_path(), None);
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let mut p = Paths::new(2, 2);
+        while p.next_path().is_some() {}
+        p.reset();
+        assert_eq!(p.next_path(), Some(&[0, 0][..]));
+    }
+
+    #[test]
+    fn count_overflow_is_none() {
+        assert_eq!(Paths::count(3, 2), Some(9));
+        assert_eq!(Paths::count(2, 64), None);
+        assert_eq!(Paths::count(1, 1_000), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet must be non-empty")]
+    fn zero_alpha_positive_len_panics() {
+        Paths::new(0, 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Graph algorithms used by the simulator and the gathering algorithms'
+//! *ground-truth* side (distance computations, connectivity, canonical
+//! shortest paths).
+//!
+//! Agents themselves never call these on the real network — anonymity
+//! forbids it. They are used (a) to validate generated graphs, (b) by the
+//! engine and tests to assert invariants, and (c) on the *hypothetical*
+//! configurations `φ_h` of the unknown-upper-bound algorithm, which every
+//! agent knows completely by construction (paper §4.2: `path_h`, `rank_h`).
+
+use crate::graph::{Graph, NodeId, Port};
+
+/// Breadth-first distances from `from` to every node; unreachable nodes get
+/// `u32::MAX`.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_graph::{algo, generators, NodeId};
+///
+/// let g = generators::path(4);
+/// let d = algo::bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d, vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs_distances(graph: &Graph, from: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[from.index()] = 0;
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for p in 0..graph.degree(u) {
+            let (v, _) = graph
+                .neighbor(u, Port::new(p))
+                .expect("port within degree");
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected.
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.node_count() == 0 {
+        return false;
+    }
+    bfs_distances(graph, NodeId::new(0))
+        .iter()
+        .all(|&d| d != u32::MAX)
+}
+
+/// The diameter (largest pairwise distance).
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (validated graphs never are).
+pub fn diameter(graph: &Graph) -> u32 {
+    graph
+        .nodes()
+        .map(|u| {
+            *bfs_distances(graph, u)
+                .iter()
+                .max()
+                .expect("non-empty graph")
+        })
+        .max()
+        .expect("non-empty graph")
+}
+
+/// The distance between two nodes.
+///
+/// # Panics
+///
+/// Panics if `to` is unreachable from `from` (cannot happen on validated
+/// graphs).
+pub fn distance(graph: &Graph, from: NodeId, to: NodeId) -> u32 {
+    let d = bfs_distances(graph, from)[to.index()];
+    assert_ne!(d, u32::MAX, "nodes not connected");
+    d
+}
+
+/// The lexicographically smallest shortest path from `from` to `to`, as a
+/// port sequence (paper §4.2, the `path_h(L)` function).
+///
+/// Among all shortest paths, the one whose port sequence is smallest in
+/// lexicographic order is unique and computable greedily: at each step take
+/// the smallest port that stays on *some* shortest path.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_graph::{algo, generators, NodeId};
+///
+/// let g = generators::ring(5);
+/// let p = algo::lex_smallest_shortest_path(&g, NodeId::new(0), NodeId::new(2));
+/// assert_eq!(p.len(), 2);
+/// ```
+pub fn lex_smallest_shortest_path(graph: &Graph, from: NodeId, to: NodeId) -> Vec<Port> {
+    let dist_to = bfs_distances(graph, to);
+    assert_ne!(dist_to[from.index()], u32::MAX, "nodes not connected");
+    let mut path = Vec::with_capacity(dist_to[from.index()] as usize);
+    let mut cur = from;
+    while cur != to {
+        let need = dist_to[cur.index()] - 1;
+        let mut chosen = None;
+        for p in 0..graph.degree(cur) {
+            let (v, _) = graph
+                .neighbor(cur, Port::new(p))
+                .expect("port within degree");
+            if dist_to[v.index()] == need {
+                chosen = Some((Port::new(p), v));
+                break;
+            }
+        }
+        let (port, next) = chosen.expect("BFS guarantees a descending neighbor");
+        path.push(port);
+        cur = next;
+    }
+    path
+}
+
+/// Follows a port path from `from`; returns the nodes visited (including
+/// `from`) and stops early if a port does not exist.
+pub fn follow_path(graph: &Graph, from: NodeId, path: &[Port]) -> Vec<NodeId> {
+    let mut nodes = vec![from];
+    let mut cur = from;
+    for &p in path {
+        match graph.neighbor(cur, p) {
+            Some((v, _)) => {
+                cur = v;
+                nodes.push(v);
+            }
+            None => break,
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_ring() {
+        let g = generators::ring(6);
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn diameter_of_standard_graphs() {
+        assert_eq!(diameter(&generators::ring(6)), 3);
+        assert_eq!(diameter(&generators::path(5)), 4);
+        assert_eq!(diameter(&generators::complete(4)), 1);
+        assert_eq!(diameter(&generators::star(5)), 2);
+    }
+
+    #[test]
+    fn lex_path_is_shortest() {
+        let g = generators::torus(3, 3);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let p = lex_smallest_shortest_path(&g, u, v);
+                assert_eq!(p.len() as u32, distance(&g, u, v));
+                let visited = follow_path(&g, u, &p);
+                assert_eq!(*visited.last().unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn lex_path_is_lexicographically_minimal() {
+        // On a complete graph every pair is adjacent; the lex-smallest path
+        // is the single smallest port leading there.
+        let g = generators::complete(4);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let p = lex_smallest_shortest_path(&g, u, v);
+                assert_eq!(p.len(), 1);
+                // No smaller port reaches v.
+                for q in 0..p[0].number() {
+                    let (w, _) = g.neighbor(u, Port::new(q)).unwrap();
+                    assert_ne!(w, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn follow_path_stops_at_missing_port() {
+        let g = generators::path(3);
+        // Node 0 has degree 1, so port 1 does not exist.
+        let visited = follow_path(&g, NodeId::new(0), &[Port::new(1), Port::new(0)]);
+        assert_eq!(visited, vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn empty_path_to_self() {
+        let g = generators::ring(4);
+        let p = lex_smallest_shortest_path(&g, NodeId::new(2), NodeId::new(2));
+        assert!(p.is_empty());
+    }
+}

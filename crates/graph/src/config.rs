@@ -1,0 +1,355 @@
+//! Initial configurations: a graph together with labeled start nodes.
+//!
+//! An *initial configuration* (paper §4.2) is the complete map of a network
+//! with all port numbers, in which a node `v` is labeled `L` iff `v` is the
+//! starting node of the agent labeled `L`. These objects play two roles:
+//!
+//! * as the **scenario** handed to the simulation engine (where agents
+//!   actually start), and
+//! * as the **hypotheses** `φ_h` enumerated by the unknown-upper-bound
+//!   algorithm, which agents reason about without any access to the real
+//!   network.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::algo;
+use crate::graph::{Graph, NodeId, Port};
+
+/// An agent label: a positive integer, unique per agent.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_graph::Label;
+///
+/// let l = Label::new(6).unwrap();
+/// assert_eq!(l.bit_len(), 3);
+/// assert_eq!(l.bits(), vec![true, true, false]); // 110
+/// assert!(Label::new(0).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u64);
+
+impl Label {
+    /// Creates a label; labels are positive, so `0` yields `None`.
+    pub fn new(value: u64) -> Option<Self> {
+        if value == 0 {
+            None
+        } else {
+            Some(Label(value))
+        }
+    }
+
+    /// The numeric value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The length `ℓ` of the binary representation (no leading zeros).
+    pub fn bit_len(self) -> u32 {
+        64 - self.0.leading_zeros()
+    }
+
+    /// The binary representation, most significant bit first.
+    pub fn bits(self) -> Vec<bool> {
+        let len = self.bit_len();
+        (0..len).rev().map(|i| (self.0 >> i) & 1 == 1).collect()
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An invalid initial configuration was described.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Fewer than two labeled nodes (the model assumes at least two agents).
+    TooFewAgents,
+    /// More labeled nodes than graph nodes, or a start node out of range.
+    StartOutOfRange,
+    /// Two agents share a start node (the model forbids this).
+    SharedStart,
+    /// Two agents share a label.
+    DuplicateLabel,
+    /// The graph has fewer than two nodes.
+    GraphTooSmall,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewAgents => write!(f, "configuration needs at least 2 agents"),
+            ConfigError::StartOutOfRange => write!(f, "start node out of range"),
+            ConfigError::SharedStart => write!(f, "two agents share a start node"),
+            ConfigError::DuplicateLabel => write!(f, "two agents share a label"),
+            ConfigError::GraphTooSmall => write!(f, "graph needs at least 2 nodes"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A validated initial configuration: a connected port-labeled graph plus at
+/// least two labeled start nodes with distinct labels and distinct nodes.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
+///
+/// let g = generators::ring(5);
+/// let cfg = InitialConfiguration::new(
+///     g,
+///     vec![
+///         (Label::new(9).unwrap(), NodeId::new(0)),
+///         (Label::new(4).unwrap(), NodeId::new(2)),
+///     ],
+/// )?;
+/// assert_eq!(cfg.agent_count(), 2);
+/// assert_eq!(cfg.smallest_label(), Label::new(4).unwrap());
+/// assert_eq!(cfg.central_node(), NodeId::new(2));
+/// assert_eq!(cfg.rank(Label::new(9).unwrap()), Some(1));
+/// # Ok::<(), nochatter_graph::ConfigError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InitialConfiguration {
+    graph: Graph,
+    /// Sorted by label.
+    agents: Vec<(Label, NodeId)>,
+}
+
+impl InitialConfiguration {
+    /// Validates and builds a configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`] for each rejected shape.
+    pub fn new(graph: Graph, mut agents: Vec<(Label, NodeId)>) -> Result<Self, ConfigError> {
+        if graph.node_count() < 2 {
+            return Err(ConfigError::GraphTooSmall);
+        }
+        if agents.len() < 2 {
+            return Err(ConfigError::TooFewAgents);
+        }
+        if agents.len() > graph.node_count() {
+            return Err(ConfigError::StartOutOfRange);
+        }
+        agents.sort_by_key(|&(l, _)| l);
+        for w in agents.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(ConfigError::DuplicateLabel);
+            }
+        }
+        let mut nodes: Vec<NodeId> = agents.iter().map(|&(_, v)| v).collect();
+        nodes.sort();
+        for w in nodes.windows(2) {
+            if w[0] == w[1] {
+                return Err(ConfigError::SharedStart);
+            }
+        }
+        if agents.iter().any(|&(_, v)| !graph.contains(v)) {
+            return Err(ConfigError::StartOutOfRange);
+        }
+        Ok(InitialConfiguration { graph, agents })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The graph size `n`.
+    pub fn size(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The number of agents `k`.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The `(label, start node)` pairs in increasing label order.
+    pub fn agents(&self) -> &[(Label, NodeId)] {
+        &self.agents
+    }
+
+    /// The labels in increasing order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        self.agents.iter().map(|&(l, _)| l)
+    }
+
+    /// Whether `label` belongs to the configuration (the paper's `L_x`).
+    pub fn contains_label(&self, label: Label) -> bool {
+        self.agents.binary_search_by_key(&label, |&(l, _)| l).is_ok()
+    }
+
+    /// The smallest label.
+    pub fn smallest_label(&self) -> Label {
+        self.agents[0].0
+    }
+
+    /// The start node of `label`, if present.
+    pub fn node_of(&self, label: Label) -> Option<NodeId> {
+        self.agents
+            .binary_search_by_key(&label, |&(l, _)| l)
+            .ok()
+            .map(|i| self.agents[i].1)
+    }
+
+    /// The *central node* `v_h`: the start node of the smallest label
+    /// (paper §4.2).
+    pub fn central_node(&self) -> NodeId {
+        self.agents[0].1
+    }
+
+    /// `rank_h(L)`: the number of labels smaller than `label`, or `None` if
+    /// the label is not in the configuration.
+    pub fn rank(&self, label: Label) -> Option<usize> {
+        self.agents.binary_search_by_key(&label, |&(l, _)| l).ok()
+    }
+
+    /// `path_h(L)`: the lexicographically smallest shortest path from the
+    /// start node of `label` to the central node, or `None` if the label is
+    /// absent.
+    pub fn path_to_central(&self, label: Label) -> Option<Vec<Port>> {
+        let from = self.node_of(label)?;
+        Some(algo::lex_smallest_shortest_path(
+            &self.graph,
+            from,
+            self.central_node(),
+        ))
+    }
+
+    /// The length of the binary representation of the smallest label — the
+    /// paper's `ℓ`, which its time bounds are polynomial in.
+    pub fn smallest_label_bit_len(&self) -> u32 {
+        // Time bounds depend on the smallest length over the team, which for
+        // positive integers is achieved by the smallest label... not in
+        // general (e.g. 8 is longer than 7), so take the minimum explicitly.
+        self.labels().map(Label::bit_len).min().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn label(v: u64) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    fn ring_cfg() -> InitialConfiguration {
+        InitialConfiguration::new(
+            generators::ring(6),
+            vec![
+                (label(5), NodeId::new(1)),
+                (label(3), NodeId::new(4)),
+                (label(12), NodeId::new(0)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn label_zero_rejected() {
+        assert!(Label::new(0).is_none());
+    }
+
+    #[test]
+    fn label_bits_msb_first() {
+        assert_eq!(label(1).bits(), vec![true]);
+        assert_eq!(label(5).bits(), vec![true, false, true]);
+        assert_eq!(label(8).bit_len(), 4);
+    }
+
+    #[test]
+    fn agents_sorted_by_label() {
+        let cfg = ring_cfg();
+        let labels: Vec<u64> = cfg.labels().map(Label::value).collect();
+        assert_eq!(labels, vec![3, 5, 12]);
+        assert_eq!(cfg.smallest_label(), label(3));
+        assert_eq!(cfg.central_node(), NodeId::new(4));
+    }
+
+    #[test]
+    fn ranks() {
+        let cfg = ring_cfg();
+        assert_eq!(cfg.rank(label(3)), Some(0));
+        assert_eq!(cfg.rank(label(5)), Some(1));
+        assert_eq!(cfg.rank(label(12)), Some(2));
+        assert_eq!(cfg.rank(label(7)), None);
+    }
+
+    #[test]
+    fn path_to_central_is_shortest() {
+        let cfg = ring_cfg();
+        let p = cfg.path_to_central(label(5)).unwrap();
+        assert_eq!(p.len(), 3); // node 1 -> node 4 on a 6-ring
+        assert!(cfg.path_to_central(label(99)).is_none());
+        assert!(cfg.path_to_central(label(3)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_shared_start() {
+        let err = InitialConfiguration::new(
+            generators::ring(4),
+            vec![(label(1), NodeId::new(0)), (label(2), NodeId::new(0))],
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::SharedStart);
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let err = InitialConfiguration::new(
+            generators::ring(4),
+            vec![(label(1), NodeId::new(0)), (label(1), NodeId::new(2))],
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::DuplicateLabel);
+    }
+
+    #[test]
+    fn rejects_too_few_agents() {
+        let err = InitialConfiguration::new(generators::ring(4), vec![(label(1), NodeId::new(0))])
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TooFewAgents);
+    }
+
+    #[test]
+    fn rejects_more_agents_than_nodes() {
+        let err = InitialConfiguration::new(
+            generators::path(2),
+            vec![
+                (label(1), NodeId::new(0)),
+                (label(2), NodeId::new(1)),
+                (label(3), NodeId::new(2)),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::StartOutOfRange);
+    }
+
+    #[test]
+    fn smallest_bit_len_is_min_over_team() {
+        let cfg = InitialConfiguration::new(
+            generators::ring(6),
+            vec![(label(7), NodeId::new(0)), (label(8), NodeId::new(2))],
+        )
+        .unwrap();
+        // 7 = 111 (3 bits) is smaller than 8 = 1000 (4 bits): ℓ = 3.
+        assert_eq!(cfg.smallest_label_bit_len(), 3);
+    }
+}

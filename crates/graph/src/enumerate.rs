@@ -1,0 +1,232 @@
+//! Exhaustive enumeration of all connected port-labeled graphs of a small
+//! size.
+//!
+//! Two distinct uses:
+//!
+//! * certifying *genuinely universal* exploration sequences: a sequence
+//!   verified against every graph produced by [`connected_graphs`] for all
+//!   sizes `2..=n` is a true UXS for that size class (paper §2, `EXPLO`);
+//! * realizing the paper's recursive enumeration `Ω` of initial
+//!   configurations (§4.2) for the unknown-upper-bound algorithm.
+//!
+//! The enumeration is by brute force over edge subsets and per-node port
+//! permutations; it is intentionally restricted to `n <= 4`, beyond which
+//! the count explodes (and the unknown-bound algorithm that consumes it is
+//! exponential anyway — the paper presents it as a feasibility result).
+//!
+//! # Example
+//!
+//! ```
+//! use nochatter_graph::enumerate;
+//!
+//! // The only connected port-labeled graph on 2 nodes is a single edge.
+//! assert_eq!(enumerate::connected_graphs(2).len(), 1);
+//! // Three nodes: 3 paths (choice of center) × 2 port orders at the center,
+//! // plus the triangle with 2 port orders at each of the 3 nodes: 6 + 8.
+//! assert_eq!(enumerate::connected_graphs(3).len(), 14);
+//! ```
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Maximum size accepted by [`connected_graphs`].
+pub const MAX_EXHAUSTIVE_N: u32 = 4;
+
+/// All permutations of `0..k` in lexicographic order.
+fn permutations(k: usize) -> Vec<Vec<u32>> {
+    let mut result = Vec::new();
+    let mut cur: Vec<u32> = (0..k as u32).collect();
+    loop {
+        result.push(cur.clone());
+        // Next lexicographic permutation.
+        let Some(i) = (0..k.saturating_sub(1)).rev().find(|&i| cur[i] < cur[i + 1]) else {
+            break;
+        };
+        let j = (i + 1..k).rev().find(|&j| cur[j] > cur[i]).expect("exists");
+        cur.swap(i, j);
+        cur[i + 1..].reverse();
+    }
+    result
+}
+
+/// Every connected port-labeled simple graph on exactly `n` nodes
+/// (`1 <= n <= 4`), including all port numberings. Node identifiers are
+/// significant (the output enumerates *labeled* graphs), which is what both
+/// UXS certification (all start nodes) and configuration enumeration need.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > MAX_EXHAUSTIVE_N`.
+pub fn connected_graphs(n: u32) -> Vec<Graph> {
+    assert!(n >= 1, "need at least one node");
+    assert!(
+        n <= MAX_EXHAUSTIVE_N,
+        "exhaustive enumeration capped at n = {MAX_EXHAUSTIVE_N}"
+    );
+    let pairs: Vec<(u32, u32)> = (0..n)
+        .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+        .collect();
+    let m = pairs.len();
+    let mut graphs = Vec::new();
+    for mask in 0u32..(1 << m) {
+        let chosen: Vec<(u32, u32)> = (0..m)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| pairs[i])
+            .collect();
+        if chosen.len() + 1 < n as usize {
+            continue; // cannot be connected
+        }
+        // Incident edge indices per node, in pair order.
+        let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n as usize];
+        for (i, &(u, v)) in chosen.iter().enumerate() {
+            incident[u as usize].push(i);
+            incident[v as usize].push(i);
+        }
+        // Quick connectivity check on the topology before expanding port
+        // numberings.
+        if !topology_connected(n, &chosen) {
+            continue;
+        }
+        // All combinations of per-node port permutations. perm_choices[u] is
+        // the list of candidate assignments: ports[j] is the port of the
+        // j-th incident edge.
+        let perm_choices: Vec<Vec<Vec<u32>>> = incident
+            .iter()
+            .map(|inc| permutations(inc.len()))
+            .collect();
+        let mut idx = vec![0usize; n as usize];
+        loop {
+            let mut b = GraphBuilder::new(n);
+            for (i, &(u, v)) in chosen.iter().enumerate() {
+                let pu = port_of(&incident[u as usize], &perm_choices[u as usize][idx[u as usize]], i);
+                let pv = port_of(&incident[v as usize], &perm_choices[v as usize][idx[v as usize]], i);
+                b.edge(u, pu, v, pv);
+            }
+            graphs.push(b.build().expect("constructed graph is valid"));
+            // Odometer increment over idx.
+            let mut carry = true;
+            for u in 0..n as usize {
+                if !carry {
+                    break;
+                }
+                idx[u] += 1;
+                if idx[u] < perm_choices[u].len() {
+                    carry = false;
+                } else {
+                    idx[u] = 0;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+    }
+    graphs
+}
+
+/// All connected port-labeled graphs of every size in `2..=n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > MAX_EXHAUSTIVE_N`.
+pub fn connected_graphs_up_to(n: u32) -> Vec<Graph> {
+    assert!(n >= 2, "need at least two nodes");
+    (2..=n).flat_map(connected_graphs).collect()
+}
+
+fn port_of(incident: &[usize], perm: &[u32], edge: usize) -> u32 {
+    let j = incident
+        .iter()
+        .position(|&e| e == edge)
+        .expect("edge is incident");
+    perm[j]
+}
+
+fn topology_connected(n: u32, edges: &[(u32, u32)]) -> bool {
+    let mut parent: Vec<u32> = (0..n).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut x = x;
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    let r0 = find(&mut parent, 0);
+    (1..n).all(|x| find(&mut parent, x) == r0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn permutations_count_and_uniqueness() {
+        for k in 0..5 {
+            let perms = permutations(k);
+            let expected: usize = (1..=k).product::<usize>().max(1);
+            assert_eq!(perms.len(), expected);
+            let set: std::collections::HashSet<_> = perms.iter().collect();
+            assert_eq!(set.len(), perms.len());
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let gs = connected_graphs(1);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].node_count(), 1);
+    }
+
+    #[test]
+    fn two_node_unique() {
+        assert_eq!(connected_graphs(2).len(), 1);
+    }
+
+    #[test]
+    fn three_node_count() {
+        // 3 paths (choice of the middle node) × 2 port orders at the middle
+        // node (endpoints have degree 1, hence no freedom) = 6, plus the
+        // triangle with 2 port orders at each of its 3 degree-2 nodes = 8.
+        let gs = connected_graphs(3);
+        for g in &gs {
+            assert_eq!(g.node_count(), 3);
+            assert!(algo::is_connected(g));
+        }
+        let mut keys: Vec<String> = gs.iter().map(|g| format!("{g:?}")).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), gs.len(), "no duplicate graphs");
+        assert_eq!(gs.len(), 14);
+    }
+
+    #[test]
+    fn four_node_graphs_valid() {
+        let gs = connected_graphs(4);
+        assert!(!gs.is_empty());
+        for g in &gs {
+            assert_eq!(g.node_count(), 4);
+            assert!(algo::is_connected(g));
+        }
+    }
+
+    #[test]
+    fn up_to_collects_all_sizes() {
+        let gs = connected_graphs_up_to(3);
+        assert!(gs.iter().any(|g| g.node_count() == 2));
+        assert!(gs.iter().any(|g| g.node_count() == 3));
+        assert!(gs.iter().all(|g| g.node_count() <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn too_large_panics() {
+        connected_graphs(5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid anonymous port-labeled graph was described.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge endpoint referenced a node `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The declared node count.
+        n: u32,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop {
+        /// The node with the loop.
+        node: u32,
+    },
+    /// Two edges connected the same pair of nodes.
+    ParallelEdge {
+        /// Smaller endpoint.
+        u: u32,
+        /// Larger endpoint.
+        v: u32,
+    },
+    /// Two edges claimed the same port at one node.
+    DuplicatePort {
+        /// The node.
+        node: u32,
+        /// The port claimed twice.
+        port: u32,
+    },
+    /// The ports at a node are not exactly `0..degree`.
+    PortGap {
+        /// The node.
+        node: u32,
+        /// The missing port number.
+        port: u32,
+    },
+    /// The graph is not connected.
+    Disconnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge between nodes {u} and {v}")
+            }
+            GraphError::DuplicatePort { node, port } => {
+                write!(f, "port {port} used twice at node {node}")
+            }
+            GraphError::PortGap { node, port } => {
+                write!(f, "ports at node {node} are not contiguous: missing port {port}")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl Error for GraphError {}

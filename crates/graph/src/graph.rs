@@ -1,0 +1,381 @@
+//! The core anonymous port-labeled graph representation.
+
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// Identifier of a node, used only by the *simulator* and by generators.
+///
+/// Agents never observe node identifiers; they exist so that the engine and
+/// test assertions can talk about positions. Identifiers are dense indices
+/// `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node, usable to index per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+/// A local port number at a node.
+///
+/// A node of degree `d` has ports `0..d`; taking port `p` traverses the
+/// incident edge numbered `p` at that node. Port numbers at the two endpoints
+/// of an edge are unrelated.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(u32);
+
+impl Port {
+    /// Creates a port from its local number.
+    pub fn new(number: u32) -> Self {
+        Port(number)
+    }
+
+    /// The local port number.
+    pub fn number(self) -> u32 {
+        self.0
+    }
+
+    /// The port number as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Port {
+    fn from(number: u32) -> Self {
+        Port(number)
+    }
+}
+
+/// One directed half of an undirected edge, as seen from a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Endpoint {
+    /// The node reached through this port.
+    to: NodeId,
+    /// The port by which the traversal *enters* `to`.
+    back: Port,
+}
+
+/// An immutable, validated, connected, anonymous port-labeled graph.
+///
+/// Construct one with [`GraphBuilder`] or one of the [`crate::generators`].
+/// Validated invariants:
+///
+/// * simple (no self-loops, no parallel edges), undirected, connected;
+/// * at every node of degree `d`, the incident edges carry exactly the ports
+///   `0..d`;
+/// * port symmetry: if taking port `p` at `u` leads to `v` entering by `q`,
+///   then taking port `q` at `v` leads back to `u` entering by `p`.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_graph::{GraphBuilder, NodeId, Port};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 0, 1, 0); // node 0 port 0 <-> node 1 port 0
+/// b.edge(1, 1, 2, 0);
+/// b.edge(2, 1, 0, 1);
+/// let g = b.build()?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.degree(NodeId::new(0)), 2);
+/// let (to, entry) = g.neighbor(NodeId::new(0), Port::new(0)).unwrap();
+/// assert_eq!(to, NodeId::new(1));
+/// assert_eq!(entry, Port::new(0));
+/// # Ok::<(), nochatter_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<Endpoint>>,
+}
+
+impl Graph {
+    /// The number of nodes `n` (the paper's "size of the graph").
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> u32 {
+        self.adj[node.index()].len() as u32
+    }
+
+    /// The largest degree in the graph.
+    pub fn max_degree(&self) -> u32 {
+        self.adj.iter().map(|v| v.len() as u32).max().unwrap_or(0)
+    }
+
+    /// The node and entry port reached by taking `port` at `node`, or `None`
+    /// if `port` is not a valid port of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbor(&self, node: NodeId, port: Port) -> Option<(NodeId, Port)> {
+        self.adj[node.index()]
+            .get(port.index())
+            .map(|e| (e.to, e.back))
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId::new)
+    }
+
+    /// Whether `node` is a valid node of this graph.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.adj.len()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Graph(n={}):", self.node_count())?;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            write!(f, "  n{u}:")?;
+            for (p, e) in nbrs.iter().enumerate() {
+                write!(f, " {p}->{}@{}", e.to, e.back)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Add undirected edges with explicit port numbers at both endpoints, then
+/// call [`GraphBuilder::build`] to validate. See [`Graph`] for an example.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(u32, u32, u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts building a graph with `n` nodes and no edges.
+    pub fn new(n: u32) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` with port `pu` at `u` and `pv` at
+    /// `v`. Returns `&mut self` for chaining.
+    pub fn edge(&mut self, u: u32, pu: u32, v: u32, pv: u32) -> &mut Self {
+        self.edges.push((u, pu, v, pv));
+        self
+    }
+
+    /// Validates the accumulated edges and produces the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the graph has fewer than one node, a
+    /// self-loop, parallel edges, an endpoint or port out of range, ports
+    /// that are not exactly `0..degree` at some node, or is disconnected.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let n = self.n as usize;
+        let mut slots: Vec<Vec<Option<Endpoint>>> = vec![Vec::new(); n];
+        let mut seen_pairs = std::collections::HashSet::new();
+        for &(u, pu, v, pv) in &self.edges {
+            if u >= self.n || v >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u.max(v),
+                    n: self.n,
+                });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen_pairs.insert(key) {
+                return Err(GraphError::ParallelEdge { u: key.0, v: key.1 });
+            }
+            for &(a, pa, b, pb) in &[(u, pu, v, pv), (v, pv, u, pu)] {
+                let row = &mut slots[a as usize];
+                let idx = pa as usize;
+                if row.len() <= idx {
+                    row.resize(idx + 1, None);
+                }
+                if row[idx].is_some() {
+                    return Err(GraphError::DuplicatePort { node: a, port: pa });
+                }
+                row[idx] = Some(Endpoint {
+                    to: NodeId::new(b),
+                    back: Port::new(pb),
+                });
+            }
+        }
+        let mut adj = Vec::with_capacity(n);
+        for (u, row) in slots.into_iter().enumerate() {
+            let mut full = Vec::with_capacity(row.len());
+            for (p, slot) in row.into_iter().enumerate() {
+                match slot {
+                    Some(e) => full.push(e),
+                    None => {
+                        return Err(GraphError::PortGap {
+                            node: u as u32,
+                            port: p as u32,
+                        })
+                    }
+                }
+            }
+            adj.push(full);
+        }
+        let graph = Graph { adj };
+        if !crate::algo::is_connected(&graph) {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> Graph {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 0, 1, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_node_graph_is_symmetric() {
+        let g = two_node();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(
+            g.neighbor(NodeId::new(0), Port::new(0)),
+            Some((NodeId::new(1), Port::new(0)))
+        );
+        assert_eq!(
+            g.neighbor(NodeId::new(1), Port::new(0)),
+            Some((NodeId::new(0), Port::new(0)))
+        );
+    }
+
+    #[test]
+    fn invalid_port_is_none() {
+        let g = two_node();
+        assert_eq!(g.neighbor(NodeId::new(0), Port::new(1)), None);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            GraphBuilder::new(0).build(),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 0, 0, 1);
+        assert!(matches!(b.build(), Err(GraphError::SelfLoop { node: 0 })));
+    }
+
+    #[test]
+    fn rejects_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 0, 1, 0).edge(1, 1, 0, 1);
+        assert!(matches!(b.build(), Err(GraphError::ParallelEdge { .. })));
+    }
+
+    #[test]
+    fn rejects_port_gap() {
+        let mut b = GraphBuilder::new(3);
+        // Node 0 uses ports 0 and 2, leaving a gap at 1.
+        b.edge(0, 0, 1, 0).edge(0, 2, 2, 0).edge(1, 1, 2, 1);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::PortGap { node: 0, port: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_port() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 0, 1, 0).edge(0, 0, 2, 0);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::DuplicatePort { node: 0, port: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 0, 1, 0).edge(2, 0, 3, 0);
+        assert!(matches!(b.build(), Err(GraphError::Disconnected)));
+    }
+
+    #[test]
+    fn rejects_node_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 0, 5, 0);
+        assert!(matches!(b.build(), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn debug_rendering_is_nonempty() {
+        let g = two_node();
+        let s = format!("{g:?}");
+        assert!(s.contains("Graph(n=2)"));
+        assert!(format!("{:?}", NodeId::new(3)).contains("n3"));
+        assert!(format!("{:?}", Port::new(2)).contains("p2"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Anonymous port-labeled graphs for mobile-agent algorithms.
+//!
+//! This crate models the networks of *Want to Gather? No Need to Chatter!*
+//! (Bouchard, Dieudonné & Pelc, PODC 2020): undirected connected graphs whose
+//! nodes are **anonymous** (carry no identifiers an agent could read) but
+//! whose edges carry local *port numbers*: the edges incident to a node of
+//! degree `d` are numbered `0..d` at that node, and the two endpoints of an
+//! edge are numbered independently.
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — the immutable validated graph representation, built through
+//!   [`GraphBuilder`];
+//! * [`generators`] — standard topologies (rings, paths, grids, tori, trees,
+//!   hypercubes, complete graphs, random connected graphs) with optional
+//!   adversarial re-numbering of ports;
+//! * [`enumerate`] — exhaustive enumeration of *all* connected port-labeled
+//!   graphs of a small size, used to certify genuinely universal exploration
+//!   sequences;
+//! * [`InitialConfiguration`] — a graph together with labeled start nodes,
+//!   the objects enumerated by the unknown-upper-bound algorithm;
+//! * [`rng`] — a tiny deterministic RNG (SplitMix64 / xoshiro256**) so that
+//!   every randomized generator is bit-reproducible without external
+//!   dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use nochatter_graph::{generators, NodeId, Port};
+//!
+//! let g = generators::ring(6);
+//! assert_eq!(g.node_count(), 6);
+//! let (next, entry) = g.neighbor(NodeId::new(0), Port::new(1)).unwrap();
+//! // Walking out of port 1 everywhere tours the ring.
+//! assert_eq!(g.degree(next), 2);
+//! assert!(entry.index() < 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod graph;
+
+pub mod algo;
+pub mod enumerate;
+pub mod generators;
+pub mod rng;
+
+pub use config::{ConfigError, InitialConfiguration, Label};
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder, NodeId, Port};

@@ -1,0 +1,76 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use nochatter_graph::{Label, NodeId, Port};
+
+/// A protocol violation or setup error detected by the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// No agents were added before `run`.
+    NoAgents,
+    /// Two agents were placed on the same start node (forbidden by the
+    /// model).
+    SharedStart {
+        /// The contested node.
+        node: NodeId,
+    },
+    /// Two agents carry the same label (forbidden by the model).
+    DuplicateLabel {
+        /// The duplicated label.
+        label: Label,
+    },
+    /// An agent start node is not in the graph.
+    StartOutOfRange {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A behavior asked for a port that does not exist at its node — a bug
+    /// in the algorithm under test, surfaced loudly.
+    InvalidPort {
+        /// The offending agent's label.
+        agent: Label,
+        /// Where it happened.
+        node: NodeId,
+        /// The nonexistent port.
+        port: Port,
+        /// The round of the attempt.
+        round: u64,
+    },
+    /// The wake schedule produced no wake at round 0 (time is measured from
+    /// the first wake-up) or too few entries.
+    BadWakeSchedule,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoAgents => write!(f, "no agents added to the engine"),
+            SimError::SharedStart { node } => {
+                write!(f, "two agents share start node {node}")
+            }
+            SimError::DuplicateLabel { label } => {
+                write!(f, "two agents share label {label}")
+            }
+            SimError::StartOutOfRange { node } => {
+                write!(f, "start node {node} is not in the graph")
+            }
+            SimError::InvalidPort {
+                agent,
+                node,
+                port,
+                round,
+            } => write!(
+                f,
+                "agent {agent} took nonexistent port {port} at {node} in round {round}"
+            ),
+            SimError::BadWakeSchedule => {
+                write!(f, "wake schedule must wake some agent at round 0")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}

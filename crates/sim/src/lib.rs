@@ -1,0 +1,73 @@
+//! The synchronous mobile-agent execution model of *Want to Gather? No Need
+//! to Chatter!* (Bouchard, Dieudonné & Pelc, PODC 2020).
+//!
+//! This crate is the substrate on which every algorithm of the paper runs:
+//!
+//! * **Rounds.** Agents execute exactly one move instruction per round:
+//!   `take port p` or `wait`. Moves are simultaneous; agents crossing the
+//!   same edge in opposite directions do not notice each other.
+//! * **Weak sensing.** In every round an agent observes only the degree of
+//!   its node, the port by which it last entered it, and `CurCard` — the
+//!   number of agents at its node. It cannot see labels of co-located
+//!   agents, exchange messages, or mark nodes. A *traditional* sensing mode
+//!   (co-located labels visible) exists solely for the talking-model
+//!   baseline the paper compares against.
+//! * **Adversarial wake-up.** The adversary wakes a subset of agents at
+//!   chosen rounds; a dormant agent is woken by the first agent that visits
+//!   its start node and starts executing in that round.
+//! * **Termination.** Agents *declare* (gathering achieved, optionally with
+//!   an elected leader and learned graph size); correctness requires all
+//!   agents to declare in the same round at the same node, which
+//!   [`RunOutcome::gathering`] validates.
+//!
+//! Algorithms are written as [`Procedure`]s — resumable state machines
+//! polled once per round — composed with the combinators in [`proc`]. The
+//! deterministic [`Engine`] executes them, with a sound *quiescence
+//! fast-forward* that skips stretches of rounds in which provably no
+//! observation can change (essential for the unknown-upper-bound algorithm,
+//! whose schedule is dominated by enormous waiting periods).
+//!
+//! # Example
+//!
+//! ```
+//! use nochatter_graph::{generators, Label, NodeId, Port};
+//! use nochatter_sim::{Engine, WakeSchedule};
+//! use nochatter_sim::proc::{ProcBehavior, WaitRounds};
+//!
+//! // Two agents that just wait 10 rounds and then declare.
+//! let g = generators::ring(4);
+//! let mut engine = Engine::new(&g);
+//! for (label, node) in [(1u64, 0u32), (2, 2)] {
+//!     engine.add_agent(
+//!         Label::new(label).unwrap(),
+//!         NodeId::new(node),
+//!         Box::new(ProcBehavior::declaring(WaitRounds::new(10))),
+//!     );
+//! }
+//! engine.set_wake_schedule(WakeSchedule::Simultaneous);
+//! let outcome = engine.run(1_000)?;
+//! assert!(outcome.all_declared());
+//! # Ok::<(), nochatter_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod engine;
+mod error;
+mod obs;
+mod outcome;
+mod schedule;
+mod trace;
+
+pub mod proc;
+
+pub use behavior::{AgentAct, AgentBehavior, Declaration};
+pub use engine::{Engine, Sensing};
+pub use error::SimError;
+pub use obs::{Action, Obs, Poll};
+pub use outcome::{DeclarationRecord, GatheringReport, RunOutcome, RunStatus, ValidationError};
+pub use proc::Procedure;
+pub use schedule::WakeSchedule;
+pub use trace::{Trace, TraceEvent};

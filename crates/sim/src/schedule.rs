@@ -1,0 +1,106 @@
+//! Adversarial wake-up schedules.
+
+/// When the adversary wakes each agent.
+///
+/// Rounds are measured from the first wake-up (round 0). Agents not woken by
+/// the adversary sleep until another agent visits their start node — the
+/// model's wake-on-visit rule — so a schedule may leave agents to be woken
+/// implicitly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum WakeSchedule {
+    /// Everyone wakes in round 0.
+    #[default]
+    Simultaneous,
+    /// Only the first agent is woken by the adversary; all others sleep
+    /// until visited. The harshest schedule allowed by the model.
+    FirstOnly,
+    /// Agent `i` wakes at round `i * gap` (agent 0 at 0).
+    Staggered {
+        /// Rounds between consecutive wake-ups.
+        gap: u64,
+    },
+    /// Explicit wake round per agent; `u64::MAX` means "never woken by the
+    /// adversary" (wake-on-visit only). At least one entry must be 0.
+    Explicit(Vec<u64>),
+}
+
+impl WakeSchedule {
+    /// The wake round of each of `k` agents (`u64::MAX` = visit-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the schedule is malformed for `k` agents (no wake
+    /// at round 0, or wrong length).
+    pub fn wake_rounds(&self, k: usize) -> Option<Vec<u64>> {
+        let rounds = match self {
+            WakeSchedule::Simultaneous => vec![0; k],
+            WakeSchedule::FirstOnly => {
+                let mut v = vec![u64::MAX; k];
+                if let Some(first) = v.first_mut() {
+                    *first = 0;
+                }
+                v
+            }
+            WakeSchedule::Staggered { gap } => {
+                (0..k as u64).map(|i| i.saturating_mul(*gap)).collect()
+            }
+            WakeSchedule::Explicit(v) => {
+                if v.len() != k {
+                    return None;
+                }
+                v.clone()
+            }
+        };
+        if rounds.is_empty() || !rounds.contains(&0) {
+            return None;
+        }
+        Some(rounds)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simultaneous_all_zero() {
+        assert_eq!(
+            WakeSchedule::Simultaneous.wake_rounds(3),
+            Some(vec![0, 0, 0])
+        );
+    }
+
+    #[test]
+    fn first_only_leaves_rest_dormant() {
+        assert_eq!(
+            WakeSchedule::FirstOnly.wake_rounds(3),
+            Some(vec![0, u64::MAX, u64::MAX])
+        );
+    }
+
+    #[test]
+    fn staggered_spacing() {
+        assert_eq!(
+            WakeSchedule::Staggered { gap: 5 }.wake_rounds(3),
+            Some(vec![0, 5, 10])
+        );
+    }
+
+    #[test]
+    fn explicit_requires_matching_len_and_zero() {
+        assert_eq!(
+            WakeSchedule::Explicit(vec![0, 7]).wake_rounds(2),
+            Some(vec![0, 7])
+        );
+        assert_eq!(WakeSchedule::Explicit(vec![0, 7]).wake_rounds(3), None);
+        assert_eq!(WakeSchedule::Explicit(vec![1, 7]).wake_rounds(2), None);
+    }
+
+    #[test]
+    fn zero_agents_is_malformed() {
+        assert_eq!(WakeSchedule::Simultaneous.wake_rounds(0), None);
+    }
+}

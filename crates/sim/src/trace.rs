@@ -1,0 +1,114 @@
+//! Execution traces for debugging and assertions.
+
+use nochatter_graph::{Label, NodeId, Port};
+
+use crate::behavior::Declaration;
+
+/// One observable event in a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// An agent woke up (by the adversary or by being visited).
+    Wake {
+        /// The agent.
+        agent: Label,
+        /// The round of wake-up.
+        round: u64,
+        /// True if woken by a visiting agent rather than the adversary.
+        by_visit: bool,
+    },
+    /// An agent traversed an edge.
+    Move {
+        /// The agent.
+        agent: Label,
+        /// The round of the move.
+        round: u64,
+        /// Node left.
+        from: NodeId,
+        /// Node entered (occupied from the next round).
+        to: NodeId,
+        /// The port taken at `from`.
+        port: Port,
+    },
+    /// An agent declared that gathering is achieved.
+    Declare {
+        /// The agent.
+        agent: Label,
+        /// The round of the declaration.
+        round: u64,
+        /// Where it declared.
+        node: NodeId,
+        /// What it declared.
+        declaration: Declaration,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event happened in.
+    pub fn round(&self) -> u64 {
+        match self {
+            TraceEvent::Wake { round, .. }
+            | TraceEvent::Move { round, .. }
+            | TraceEvent::Declare { round, .. } => *round,
+        }
+    }
+}
+
+/// A bounded event recorder. Recording stops silently once `capacity` events
+/// have been stored (runs can be astronomically long; traces are a debugging
+/// aid, not an archive).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace that keeps at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were discarded after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = Trace::with_capacity(2);
+        for round in 0..5 {
+            t.push(TraceEvent::Wake {
+                agent: Label::new(1).unwrap(),
+                round,
+                by_visit: false,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[1].round(), 1);
+    }
+}

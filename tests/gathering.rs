@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the known-upper-bound algorithm over a
+//! grid of topologies, team sizes and adversarial wake schedules.
+//!
+//! These check the paper's Theorem 3.1 end to end: every run must finish
+//! with all agents declaring in the same round at the same node, electing
+//! the same leader, which is a team member's label.
+
+use nochatter::core::{harness, CommMode, KnownSetup};
+use nochatter::graph::{generators, Graph, InitialConfiguration, Label, NodeId};
+use nochatter::sim::WakeSchedule;
+
+fn label(v: u64) -> Label {
+    Label::new(v).unwrap()
+}
+
+/// Spread `k` agents evenly over the graph with the given labels.
+fn configure(graph: Graph, labels: &[u64]) -> InitialConfiguration {
+    let n = graph.node_count();
+    let k = labels.len();
+    assert!(k <= n);
+    let agents = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (label(l), NodeId::new((i * n / k) as u32)))
+        .collect();
+    InitialConfiguration::new(graph, agents).unwrap()
+}
+
+/// Runs and validates one instance; returns the declaration round.
+fn gather(cfg: &InitialConfiguration, n_upper: u32, schedule: WakeSchedule) -> u64 {
+    let setup = KnownSetup::for_configuration(cfg, n_upper, 11);
+    let outcome = harness::run_known(cfg, &setup, CommMode::Silent, schedule)
+        .expect("engine runs cleanly");
+    let report = outcome
+        .gathering()
+        .unwrap_or_else(|e| panic!("invalid gathering: {e}"));
+    let leader = report.leader.expect("leader elected");
+    assert!(cfg.contains_label(leader), "leader {leader} not in team");
+    report.round
+}
+
+#[test]
+fn sweep_topologies_and_team_sizes() {
+    let cases: Vec<(&str, Graph, Vec<u64>)> = vec![
+        ("path3", generators::path(3), vec![2, 3]),
+        ("ring5", generators::ring(5), vec![4, 7]),
+        ("ring6", generators::ring(6), vec![3, 5, 6]),
+        ("star5", generators::star(5), vec![1, 2, 3, 4]),
+        ("grid32", generators::grid(3, 2), vec![9, 10, 12]),
+        ("complete5", generators::complete(5), vec![5, 6, 7]),
+        ("tree7", generators::binary_tree(3), vec![2, 11]),
+        ("rconn8", generators::random_connected(8, 4, 3), vec![1, 6, 8]),
+    ];
+    for (name, graph, labels) in cases {
+        let cfg = configure(graph, &labels);
+        let round = gather(&cfg, cfg.size() as u32 + 2, WakeSchedule::Simultaneous);
+        assert!(round > 0, "{name}: trivial round");
+    }
+}
+
+#[test]
+fn all_wake_schedules_agree_on_correctness() {
+    let cfg = configure(generators::ring(6), &[3, 5, 9]);
+    for schedule in [
+        WakeSchedule::Simultaneous,
+        WakeSchedule::FirstOnly,
+        WakeSchedule::Staggered { gap: 7 },
+        WakeSchedule::Explicit(vec![0, 1000, 5]),
+    ] {
+        gather(&cfg, 8, schedule);
+    }
+}
+
+#[test]
+fn loose_upper_bound_still_works() {
+    // N may wildly overestimate the size; only the time changes.
+    let cfg = configure(generators::ring(4), &[2, 3]);
+    let tight = gather(&cfg, 4, WakeSchedule::Simultaneous);
+    let loose = gather(&cfg, 16, WakeSchedule::Simultaneous);
+    assert!(
+        loose >= tight,
+        "a looser bound cannot be faster (tight {tight}, loose {loose})"
+    );
+}
+
+#[test]
+fn adversarial_port_numberings() {
+    for seed in 0..4 {
+        let g = generators::with_shuffled_ports(&generators::grid(3, 3), seed);
+        let cfg = configure(g, &[2, 5, 9]);
+        gather(&cfg, 10, WakeSchedule::Simultaneous);
+    }
+}
+
+#[test]
+fn two_agents_worst_case_symmetry() {
+    // Diametrically opposite agents on an even ring with identical local
+    // views: only the labels break the symmetry.
+    for (a, b) in [(1u64, 2u64), (6, 7), (12, 13)] {
+        let cfg = InitialConfiguration::new(
+            generators::ring(6),
+            vec![(label(a), NodeId::new(0)), (label(b), NodeId::new(3))],
+        )
+        .unwrap();
+        gather(&cfg, 6, WakeSchedule::Simultaneous);
+    }
+}
+
+#[test]
+fn longer_labels_cost_more_phases() {
+    let short = {
+        let cfg = configure(generators::ring(4), &[1, 2]);
+        gather(&cfg, 4, WakeSchedule::Simultaneous)
+    };
+    let long = {
+        let cfg = configure(generators::ring(4), &[33, 47]);
+        gather(&cfg, 4, WakeSchedule::Simultaneous)
+    };
+    assert!(
+        long > short,
+        "6-bit labels ({long}) must need more rounds than 1-2 bit ones ({short})"
+    );
+}
+
+#[test]
+fn talking_baseline_matches_on_correctness_and_wins_on_speed() {
+    let cfg = configure(generators::grid(3, 2), &[3, 5, 11]);
+    let setup = KnownSetup::for_configuration(&cfg, 8, 11);
+    let silent = harness::run_known(&cfg, &setup, CommMode::Silent, WakeSchedule::Simultaneous)
+        .unwrap()
+        .gathering()
+        .unwrap();
+    let talking = harness::run_known(&cfg, &setup, CommMode::Talking, WakeSchedule::Simultaneous)
+        .unwrap()
+        .gathering()
+        .unwrap();
+    assert!(cfg.contains_label(silent.leader.unwrap()));
+    assert!(cfg.contains_label(talking.leader.unwrap()));
+    assert!(
+        silent.round > talking.round,
+        "movement-encoded communication must cost extra rounds"
+    );
+}
+
+#[test]
+fn max_team_on_small_graph() {
+    // k = n: every node hosts an agent.
+    let cfg = configure(generators::ring(4), &[1, 2, 3, 4]);
+    gather(&cfg, 4, WakeSchedule::FirstOnly);
+}

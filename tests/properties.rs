@@ -1,0 +1,156 @@
+//! Property-based tests: randomized instances of the paper's theorems.
+//!
+//! Each property runs the full algorithm on a randomly drawn configuration
+//! and asserts the correctness conditions; shrinking produces the smallest
+//! failing instance if an invariant ever breaks.
+
+use proptest::prelude::*;
+
+use nochatter::core::{harness, BitStr, CommMode, KnownSetup};
+use nochatter::explore::Uxs;
+use nochatter::graph::{generators, Graph, InitialConfiguration, Label, NodeId};
+use nochatter::sim::WakeSchedule;
+
+fn label(v: u64) -> Label {
+    Label::new(v).unwrap()
+}
+
+/// A random small connected graph.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (3u32..9, 0u32..5, any::<u64>(), 0usize..4).prop_map(|(n, extra, seed, family)| {
+        match family {
+            0 => generators::ring(n.max(3)),
+            1 => generators::random_tree(n, seed),
+            2 => generators::random_connected(n, extra, seed),
+            _ => generators::with_shuffled_ports(&generators::random_connected(n, extra, seed), seed ^ 0xABCD),
+        }
+    })
+}
+
+/// A random team: distinct labels on distinct nodes.
+fn team_strategy() -> impl Strategy<Value = (Graph, Vec<(Label, NodeId)>, u64)> {
+    (graph_strategy(), any::<u64>()).prop_flat_map(|(g, seed)| {
+        let n = g.node_count();
+        (2usize..=n.min(4), Just(g), Just(seed)).prop_flat_map(|(k, g, seed)| {
+            (
+                proptest::collection::hash_set(1u64..32, k),
+                Just(g),
+                Just(seed),
+                Just(k),
+            )
+                .prop_filter("need k distinct labels", |(labels, _, _, k)| {
+                    labels.len() == *k
+                })
+                .prop_map(|(labels, g, seed, _)| {
+                    // Place agents deterministically from the seed.
+                    let mut rng = nochatter::graph::rng::Rng::seed_from(seed);
+                    let mut nodes: Vec<u32> = (0..g.node_count() as u32).collect();
+                    rng.shuffle(&mut nodes);
+                    let agents = labels
+                        .into_iter()
+                        .zip(&nodes)
+                        .map(|(l, &v)| (label(l), NodeId::new(v)))
+                        .collect();
+                    (g, agents, seed)
+                })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full multi-thousand-round simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Theorem 3.1: gathering + leader election succeed on random instances
+    /// with random wake schedules.
+    #[test]
+    fn gathering_is_always_correct((g, agents, seed) in team_strategy(), gap in 0u64..50) {
+        let cfg = InitialConfiguration::new(g, agents).unwrap();
+        let setup = KnownSetup::for_configuration(&cfg, cfg.size() as u32, seed);
+        let schedule = if gap == 0 {
+            WakeSchedule::Simultaneous
+        } else {
+            WakeSchedule::Staggered { gap }
+        };
+        let outcome = harness::run_known(&cfg, &setup, CommMode::Silent, schedule)
+            .expect("engine runs cleanly");
+        let report = outcome.gathering().expect("gathering must validate");
+        let leader = report.leader.expect("leader elected");
+        prop_assert!(cfg.contains_label(leader));
+    }
+
+    /// Proposition 2.1 as a property: code is even-length, self-terminating
+    /// and prefix-free over random strings.
+    #[test]
+    fn codec_proposition(bits_a in proptest::collection::vec(any::<bool>(), 0..24),
+                         bits_b in proptest::collection::vec(any::<bool>(), 0..24)) {
+        let a = BitStr::from_bits(bits_a);
+        let b = BitStr::from_bits(bits_b);
+        let ca = a.code();
+        let cb = b.code();
+        prop_assert_eq!(ca.len() % 2, 0);
+        prop_assert_eq!(ca.decode(), Some(a.clone()));
+        if a != b {
+            prop_assert!(!ca.is_prefix_of(&cb));
+            prop_assert!(!cb.is_prefix_of(&ca));
+        }
+        // The unique odd-position 01 is at the very end.
+        let mut z = 1;
+        while z < ca.len() {
+            let is_01 = !ca.bit(z) && ca.bit(z + 1);
+            prop_assert_eq!(is_01, z + 1 == ca.len());
+            z += 2;
+        }
+    }
+
+    /// Certified exploration sequences cover what they certify, from every
+    /// start node.
+    #[test]
+    fn uxs_certification_is_sound(n in 3u32..10, extra in 0u32..6, seed in any::<u64>()) {
+        let g = generators::random_connected(n, extra, seed);
+        let uxs = Uxs::covering(std::slice::from_ref(&g), seed).unwrap();
+        for start in g.nodes() {
+            prop_assert!(uxs.covers(&g, start));
+        }
+    }
+
+    /// Theorem 5.1 on random instances: gossip delivers the exact multiset
+    /// of payloads to every agent.
+    #[test]
+    fn gossip_delivers_everything(
+        (g, agents, seed) in team_strategy(),
+        payload_bits in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 0..6), 4)
+    ) {
+        let cfg = InitialConfiguration::new(g, agents).unwrap();
+        let setup = KnownSetup::for_configuration(&cfg, cfg.size() as u32, seed);
+        let messages: Vec<(Label, BitStr)> = cfg
+            .agents()
+            .iter()
+            .zip(payload_bits.iter().cycle())
+            .map(|(&(l, _), bits)| (l, BitStr::from_bits(bits.clone())))
+            .collect();
+        let reports = harness::run_gossip(
+            &cfg,
+            &setup,
+            CommMode::Silent,
+            &messages,
+            WakeSchedule::Simultaneous,
+        )
+        .expect("gossip runs");
+        let mut expected: Vec<BitStr> = messages.iter().map(|(_, m)| m.clone()).collect();
+        expected.sort();
+        for (_, report) in &reports {
+            let mut got: Vec<BitStr> = Vec::new();
+            for (payload, kk) in report.outcome.decoded() {
+                for _ in 0..kk {
+                    got.push(payload.clone());
+                }
+            }
+            got.sort();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+}
