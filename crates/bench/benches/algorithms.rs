@@ -41,8 +41,7 @@ fn gather_known(c: &mut Criterion) {
     let setup = KnownSetup::for_configuration(&cfg, 14, 11);
     group.bench_function("ring14_talking", |b| {
         b.iter(|| {
-            harness::run_known(&cfg, &setup, CommMode::Talking, WakeSchedule::Simultaneous)
-                .unwrap()
+            harness::run_known(&cfg, &setup, CommMode::Talking, WakeSchedule::Simultaneous).unwrap()
         })
     });
     group.finish();

@@ -21,9 +21,9 @@ fn engine_throughput(c: &mut Criterion) {
     impl Procedure for Walker {
         type Output = ();
         fn poll(&mut self, _obs: &Obs) -> nochatter_sim::Poll<()> {
-            nochatter_sim::Poll::Yield(nochatter_sim::Action::TakePort(
-                nochatter_graph::Port::new(1),
-            ))
+            nochatter_sim::Poll::Yield(nochatter_sim::Action::TakePort(nochatter_graph::Port::new(
+                1,
+            )))
         }
     }
     let mut group = c.benchmark_group("engine");
@@ -74,7 +74,10 @@ fn uxs_certification(c: &mut Criterion) {
         let corpus = vec![
             generators::ring(n),
             generators::random_connected(n, n / 2, 7),
-            generators::grid((n as f64).sqrt().ceil() as u32, (n as f64).sqrt().ceil() as u32),
+            generators::grid(
+                (n as f64).sqrt().ceil() as u32,
+                (n as f64).sqrt().ceil() as u32,
+            ),
         ];
         group.bench_with_input(BenchmarkId::new("covering", n), &corpus, |b, corpus| {
             b.iter(|| Uxs::covering(corpus, 3).unwrap())

@@ -18,7 +18,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [all | {}]", all_experiment_ids().join(" | "));
+                eprintln!(
+                    "usage: experiments [--quick] [all | {}]",
+                    all_experiment_ids().join(" | ")
+                );
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),

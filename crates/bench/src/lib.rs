@@ -66,7 +66,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -125,7 +129,11 @@ pub fn t1_correctness(ctx: ExperimentCtx) -> Table {
         "T1 — GatherKnownUpperBound correctness sweep (Theorem 3.1)",
         vec!["family", "n", "k", "wake", "ok", "rounds", "moves"],
     );
-    let sizes: &[u32] = if ctx.quick { &[5, 8] } else { &[4, 6, 8, 10, 12] };
+    let sizes: &[u32] = if ctx.quick {
+        &[5, 8]
+    } else {
+        &[4, 6, 8, 10, 12]
+    };
     let teams: &[&[u64]] = if ctx.quick {
         &[&[2, 3], &[3, 5, 9]]
     } else {
@@ -344,9 +352,7 @@ pub fn t2_communicate(_ctx: ExperimentCtx) -> Table {
             .unwrap();
         let expected_k = labels
             .iter()
-            .filter(|&&l| {
-                BitStr::from_label(label(l)).code() == expected_winner.0
-            })
+            .filter(|&&l| BitStr::from_label(label(l)).code() == expected_winner.0)
             .count() as u32;
         let rec = outcome.declarations[0].1.unwrap();
         let winner = rec.declaration.leader.map(|l| l.value()).unwrap_or(0);
@@ -388,7 +394,15 @@ fn tiny_cfg(kind: &str, labels: &[(u64, u32)]) -> InitialConfiguration {
 pub fn t3_unknown(ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "T3 — GatherUnknownUpperBound correctness (Theorem 4.1)",
-        vec!["truth", "h*", "ok", "size", "leader", "rounds", "engine iters"],
+        vec![
+            "truth",
+            "h*",
+            "ok",
+            "size",
+            "leader",
+            "rounds",
+            "engine iters",
+        ],
     );
     let truth2 = tiny_cfg("path2", &[(1, 0), (2, 1)]);
     let truth3 = tiny_cfg("ring3", &[(1, 0), (2, 1)]);
@@ -406,7 +420,11 @@ pub fn t3_unknown(ctx: ExperimentCtx) -> Table {
         cases.push((
             "ring3@3",
             truth3.clone(),
-            vec![decoy.clone(), tiny_cfg("path2", &[(5, 0), (6, 1)]), truth3.clone()],
+            vec![
+                decoy.clone(),
+                tiny_cfg("path2", &[(5, 0), (6, 1)]),
+                truth3.clone(),
+            ],
         ));
     }
     for (name, truth, omega) in cases {
@@ -496,9 +514,7 @@ pub fn t4_gossip(ctx: ExperimentCtx) -> Table {
             .agents()
             .iter()
             .enumerate()
-            .map(|(i, &(l, _))| {
-                (l, BitStr::from_bits((0..i).map(|b| b % 2 == 0).collect()))
-            })
+            .map(|(i, &(l, _))| (l, BitStr::from_bits((0..i).map(|b| b % 2 == 0).collect())))
             .collect();
         let (outcome, reports) = harness::run_gossip_outcome(
             &cfg,
@@ -522,7 +538,10 @@ pub fn t4_gossip(ctx: ExperimentCtx) -> Table {
         });
         t.row(vec![
             labels.len().to_string(),
-            format!("{:?}", messages.iter().map(|(_, m)| m.len()).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                messages.iter().map(|(_, m)| m.len()).collect::<Vec<_>>()
+            ),
             if ok { "yes" } else { "NO" }.into(),
             outcome.rounds.to_string(),
         ]);
@@ -536,20 +555,20 @@ pub fn f4_gossip_vs_len(ctx: ExperimentCtx) -> Table {
         "F4 — gossip rounds vs max message length (Theorem 5.1: polynomial)",
         vec!["|M|", "total rounds", "gossip rounds (excl. gathering)"],
     );
-    let lens: &[usize] = if ctx.quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 24] };
+    let lens: &[usize] = if ctx.quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 24]
+    };
     let cfg = spread(generators::path(3), &[2, 3]);
     let setup = KnownSetup::for_configuration(&cfg, 3, 3);
     // Baseline: gathering-only time, to isolate the gossip term.
-    let gather_only = harness::run_known(
-        &cfg,
-        &setup,
-        CommMode::Silent,
-        WakeSchedule::Simultaneous,
-    )
-    .unwrap()
-    .gathering()
-    .unwrap()
-    .round;
+    let gather_only =
+        harness::run_known(&cfg, &setup, CommMode::Silent, WakeSchedule::Simultaneous)
+            .unwrap()
+            .gathering()
+            .unwrap()
+            .round;
     for &len in lens {
         let messages: Vec<(Label, BitStr)> = cfg
             .agents()
@@ -591,10 +610,12 @@ pub fn t5_price_of_silence(ctx: ExperimentCtx) -> Table {
             let cfg = spread(family.instantiate(n, 5), &[3, 5, 9]);
             let setup = KnownSetup::for_configuration(&cfg, cfg.size() as u32, 5);
             let mut rounds = [0u64; 2];
-            for (slot, mode) in [CommMode::Silent, CommMode::Talking].into_iter().enumerate() {
-                let outcome =
-                    harness::run_known(&cfg, &setup, mode, WakeSchedule::Simultaneous)
-                        .expect("runs");
+            for (slot, mode) in [CommMode::Silent, CommMode::Talking]
+                .into_iter()
+                .enumerate()
+            {
+                let outcome = harness::run_known(&cfg, &setup, mode, WakeSchedule::Simultaneous)
+                    .expect("runs");
                 rounds[slot] = outcome.gathering().expect("valid").round;
             }
             let ratio = rounds[0] as f64 / rounds[1] as f64;
@@ -623,13 +644,21 @@ pub fn t5_price_of_silence(ctx: ExperimentCtx) -> Table {
 pub fn t6_agreement(ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "T6 — agreement invariants over randomized instances",
-        vec!["runs", "all declared", "same round", "same node", "leader in team"],
+        vec![
+            "runs",
+            "all declared",
+            "same round",
+            "same node",
+            "leader in team",
+        ],
     );
     let runs = if ctx.quick { 10 } else { 30 };
     let mut ok = [0u32; 4];
     for seed in 0..runs {
         let g = generators::random_connected(5 + (seed % 6) as u32, (seed % 4) as u32, seed);
-        let labels: Vec<u64> = (0..2 + (seed % 3)).map(|i| 2 + 3 * i + (seed % 5)).collect();
+        let labels: Vec<u64> = (0..2 + (seed % 3))
+            .map(|i| 2 + 3 * i + (seed % 5))
+            .collect();
         let cfg = spread(g, &labels);
         let outcome = run_silent(&cfg, WakeSchedule::Staggered { gap: seed % 13 + 1 }, seed);
         let records: Vec<_> = outcome
@@ -679,12 +708,7 @@ pub fn a1_uxs_ablation(_ctx: ExperimentCtx) -> Table {
         let covers = g.nodes().all(|s| truncated.covers(&g, s));
         let params = KnownParams::new(8, Arc::new(truncated));
         let setup = KnownSetup::from_params(params);
-        let result = harness::run_known(
-            &cfg,
-            &setup,
-            CommMode::Silent,
-            WakeSchedule::FirstOnly,
-        );
+        let result = harness::run_known(&cfg, &setup, CommMode::Silent, WakeSchedule::FirstOnly);
         let verdict = match result {
             Ok(outcome) => match outcome.gathering() {
                 Ok(_) => "correct".to_string(),
@@ -755,7 +779,10 @@ pub fn a2_est_ablation(_ctx: ExperimentCtx) -> Table {
                     .iter()
                     .filter_map(|(_, r)| *r)
                     .any(|r| r.est_dirty_observed);
-                format!("safe (hypothesis rejected{})", if dirty { ", dirty EST seen" } else { "" })
+                format!(
+                    "safe (hypothesis rejected{})",
+                    if dirty { ", dirty EST seen" } else { "" }
+                )
             }
         };
         t.row(vec![
@@ -832,7 +859,9 @@ mod tests {
         let t = a1_uxs_ablation(quick());
         assert!(t.rows[0][2].contains("correct"), "{:?}", t.rows[0]);
         assert!(
-            t.rows.iter().any(|r| r[2].contains("FAILS") || r[2].contains("error")),
+            t.rows
+                .iter()
+                .any(|r| r[2].contains("FAILS") || r[2].contains("error")),
             "some truncation must break gathering: {:?}",
             t.rows
         );

@@ -152,8 +152,7 @@ impl Procedure for Communicate {
                     match w.poll(obs) {
                         Poll::Yield(a) => return Poll::Yield(a),
                         Poll::Complete(()) => {
-                            self.stage =
-                                Stage::Walk(Explo::new(Arc::clone(&self.uxs)), is_active);
+                            self.stage = Stage::Walk(Explo::new(Arc::clone(&self.uxs)), is_active);
                         }
                     }
                 }

@@ -264,11 +264,7 @@ mod tests {
             .collect()
     }
 
-    fn run_and_check(
-        cfg: &InitialConfiguration,
-        msgs: &[(u64, &str)],
-        schedule: WakeSchedule,
-    ) {
+    fn run_and_check(cfg: &InitialConfiguration, msgs: &[(u64, &str)], schedule: WakeSchedule) {
         let setup = KnownSetup::for_configuration(cfg, cfg.size() as u32, 3);
         let msgs = payloads(msgs);
         let reports = run_gossip(cfg, &setup, CommMode::Silent, &msgs, schedule)

@@ -66,8 +66,7 @@ pub fn run_known(
             label,
             start,
             Box::new(
-                GatherKnownUpperBound::with_mode(setup.params.clone(), label, mode)
-                    .into_behavior(),
+                GatherKnownUpperBound::with_mode(setup.params.clone(), label, mode).into_behavior(),
             ),
         );
     }
@@ -181,13 +180,7 @@ pub fn run_gossip_unknown(
     omega: std::sync::Arc<dyn crate::unknown::ConfigEnumeration>,
     messages: &[(Label, BitStr)],
     schedule: WakeSchedule,
-) -> Result<
-    (
-        RunOutcome,
-        Vec<(Label, crate::gossip::UnknownGossipReport)>,
-    ),
-    SimError,
-> {
+) -> Result<(RunOutcome, Vec<(Label, crate::gossip::UnknownGossipReport)>), SimError> {
     use crate::gossip::GossipUnknownUpperBound;
     use crate::unknown::{EstMode, GatherUnknownUpperBound, UnknownSchedule};
 

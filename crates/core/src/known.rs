@@ -203,9 +203,8 @@ impl Procedure for GatherKnownUpperBound {
                 Stage::PhaseStart => {
                     self.c = obs.cur_card;
                     self.lambda = 0;
-                    self.stage = Stage::Block1(Block1::Wait1(WaitRounds::new(
-                        self.params.d(self.i),
-                    )));
+                    self.stage =
+                        Stage::Block1(Block1::Wait1(WaitRounds::new(self.params.d(self.i))));
                 }
                 Stage::Block1(b1) => {
                     // Line 8: interrupt the block as soon as CurCard > c.
@@ -217,9 +216,7 @@ impl Procedure for GatherKnownUpperBound {
                         Block1::Wait1(w) => match w.poll(obs) {
                             Poll::Yield(a) => return Poll::Yield(a),
                             Poll::Complete(()) => {
-                                *b1 = Block1::Explo1(Explo::new(Arc::clone(
-                                    self.params.uxs(),
-                                )));
+                                *b1 = Block1::Explo1(Explo::new(Arc::clone(self.params.uxs())));
                             }
                         },
                         Block1::Explo1(e) => match e.poll(obs) {
@@ -231,9 +228,7 @@ impl Procedure for GatherKnownUpperBound {
                         Block1::Wait2(w) => match w.poll(obs) {
                             Poll::Yield(a) => return Poll::Yield(a),
                             Poll::Complete(()) => {
-                                *b1 = Block1::Explo2(Explo::new(Arc::clone(
-                                    self.params.uxs(),
-                                )));
+                                *b1 = Block1::Explo2(Explo::new(Arc::clone(self.params.uxs())));
                             }
                         },
                         Block1::Explo2(e) => match e.poll(obs) {
@@ -256,9 +251,9 @@ impl Procedure for GatherKnownUpperBound {
                                     CommMode::Talking => {
                                         let l = self.talking_exchange(obs);
                                         self.set_lambda_from(&l);
-                                        self.stage = Stage::Block2(Block2::Wait1(
-                                            WaitRounds::new(self.params.t_explo()),
-                                        ));
+                                        self.stage = Stage::Block2(Block2::Wait1(WaitRounds::new(
+                                            self.params.t_explo(),
+                                        )));
                                     }
                                 }
                             }
@@ -267,8 +262,7 @@ impl Procedure for GatherKnownUpperBound {
                 }
                 Stage::Stabilize1 | Stage::Stabilize2 => {
                     if self.streak >= self.params.d(self.i + 1) {
-                        self.stage =
-                            Stage::FinalWait(WaitRounds::new(self.params.d(self.i + 1)));
+                        self.stage = Stage::FinalWait(WaitRounds::new(self.params.d(self.i + 1)));
                         continue;
                     }
                     return Poll::Yield(Action::Wait);
@@ -307,18 +301,15 @@ impl Procedure for GatherKnownUpperBound {
                         Block2::Wait2(w) => match w.poll(obs) {
                             Poll::Yield(a) => return Poll::Yield(a),
                             Poll::Complete(()) => {
-                                *b2 = Block2::Walk(Explo::new(Arc::clone(
-                                    self.params.uxs(),
-                                )));
+                                *b2 = Block2::Walk(Explo::new(Arc::clone(self.params.uxs())));
                             }
                         },
                         Block2::Walk(e) => match e.poll(obs) {
                             Poll::Yield(a) => return Poll::Yield(a),
                             Poll::Complete(_) => {
                                 // Line 30 with CurCard <= c: no stabilization.
-                                self.stage = Stage::FinalWait(WaitRounds::new(
-                                    self.params.d(self.i + 1),
-                                ));
+                                self.stage =
+                                    Stage::FinalWait(WaitRounds::new(self.params.d(self.i + 1)));
                             }
                         },
                     }
@@ -328,8 +319,8 @@ impl Procedure for GatherKnownUpperBound {
                     Poll::Complete(()) => {
                         // Line 35.
                         if obs.cur_card == self.c && self.lambda != 0 {
-                            let leader = Label::new(self.lambda)
-                                .expect("lambda != 0 was just checked");
+                            let leader =
+                                Label::new(self.lambda).expect("lambda != 0 was just checked");
                             return Poll::Complete(leader);
                         }
                         self.i += 1;

@@ -100,7 +100,8 @@ impl KnownParams {
     /// wake-up slack. Exceeding this indicates a bug, not slowness.
     pub fn round_limit(&self, smallest_label_bits: u32) -> u64 {
         let phases = u64::from(self.phase_bound(smallest_label_bits)) + 1;
-        let worst_phase = self.d(self.phase_bound(smallest_label_bits) + 1)
+        let worst_phase = self
+            .d(self.phase_bound(smallest_label_bits) + 1)
             .saturating_mul(4)
             .saturating_add((5 * phases + 6).saturating_mul(self.t_explo()));
         phases

@@ -101,9 +101,7 @@ impl Procedure for BallTraversal {
                             self.stage = Stage::Done(false);
                             continue;
                         }
-                        if self.i >= self.current.len()
-                            || self.current[self.i] >= obs.degree
-                        {
+                        if self.i >= self.current.len() || self.current[self.i] >= obs.degree {
                             // Path finished or port missing: backtrack what
                             // was walked.
                             self.forward = false;
@@ -220,8 +218,7 @@ mod tests {
         let outcome = engine.run(100_000_000).unwrap();
         assert!(outcome.all_declared(), "ball traversal must terminate");
         let rec = outcome.declarations[0].1.unwrap();
-        let mut visited: std::collections::HashSet<NodeId> =
-            std::iter::once(start).collect();
+        let mut visited: std::collections::HashSet<NodeId> = std::iter::once(start).collect();
         for e in outcome.trace.unwrap().events() {
             if let TraceEvent::Move { agent, to, .. } = e {
                 if *agent == label(1) {

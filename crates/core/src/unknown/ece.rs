@@ -95,11 +95,7 @@ impl Procedure for EnsureCleanExploration {
                     None if self.sweep == 1 => {
                         self.sweep = 2;
                         self.paths.reset();
-                        let first = self
-                            .paths
-                            .next_path()
-                            .expect("non-empty alphabet")
-                            .to_vec();
+                        let first = self.paths.next_path().expect("non-empty alphabet").to_vec();
                         self.current = first;
                         self.i = 0;
                         self.forward = true;
@@ -196,11 +192,7 @@ mod tests {
         (0..team_len)
             .map(|idx| {
                 let rec = outcome.declarations[idx].1.expect("sweep terminates");
-                (
-                    rec.declaration.size == Some(1),
-                    rec.node,
-                    rec.round,
-                )
+                (rec.declaration.size == Some(1), rec.node, rec.round)
             })
             .collect()
     }
@@ -228,11 +220,7 @@ mod tests {
             &g,
             &sched,
             &[(1, 0, vec![]), (2, 1, vec![0])],
-            vec![(
-                9,
-                2,
-                Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
-            )],
+            vec![(9, 2, Box::new(ProcBehavior::declaring(WaitRounds::new(0))))],
         );
         assert!(results.iter().all(|(ok, _, _)| !ok));
     }

@@ -131,12 +131,7 @@ impl ExhaustiveEnumeration {
 
 /// Enumerates assignments of distinct labels `1..=max` to positions
 /// `idx..`, in lexicographic order, invoking `f` on each complete one.
-fn enumerate_labels(
-    assignment: &mut Vec<u64>,
-    idx: usize,
-    max: u64,
-    f: &mut impl FnMut(&[u64]),
-) {
+fn enumerate_labels(assignment: &mut Vec<u64>, idx: usize, max: u64, f: &mut impl FnMut(&[u64])) {
     if idx == assignment.len() {
         f(assignment);
         return;

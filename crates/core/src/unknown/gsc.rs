@@ -235,9 +235,9 @@ impl Procedure for GraphSizeCheck {
             }
         };
         // The completion poll after `total` is not a wait.
-        (quiet_until - self.tick).min(total - self.tick).saturating_sub(
-            u64::from(quiet_until >= total),
-        )
+        (quiet_until - self.tick)
+            .min(total - self.tick)
+            .saturating_sub(u64::from(quiet_until >= total))
     }
 
     fn note_skipped(&mut self, rounds: u64) {
@@ -399,11 +399,7 @@ mod tests {
         let results = run_gsc(
             &g,
             &hypo,
-            vec![(
-                9,
-                2,
-                Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
-            )],
+            vec![(9, 2, Box::new(ProcBehavior::declaring(WaitRounds::new(0))))],
         );
         assert!(results.iter().any(|&(_, dirty, _)| dirty));
         assert!(results.iter().all(|&(b, _, _)| !b));
@@ -413,8 +409,7 @@ mod tests {
     fn duration_is_2k_t_est() {
         let g = generators::ring(3);
         let hypo = cfg(g.clone(), 2);
-        let sched =
-            UnknownSchedule::new(SliceEnumeration::new(vec![hypo.clone()])).unwrap();
+        let sched = UnknownSchedule::new(SliceEnumeration::new(vec![hypo.clone()])).unwrap();
         let results = run_gsc(&g, &hypo, vec![]);
         // One alignment round (the longest approach walk) plus exactly
         // 2 * k * t_est rounds of slots.

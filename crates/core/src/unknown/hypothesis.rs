@@ -161,9 +161,8 @@ impl Procedure for Hypothesis {
                 Stage::Line4(w) => match w.poll(obs) {
                     Poll::Yield(a) => return self.emit(a),
                     Poll::Complete(()) => {
-                        self.stage = Stage::Mtcn(MoveToCentralNode::new(
-                            &self.cfg, &self.hs, self.label,
-                        ));
+                        self.stage =
+                            Stage::Mtcn(MoveToCentralNode::new(&self.cfg, &self.hs, self.label));
                     }
                 },
                 Stage::Mtcn(m) => match m.poll(obs) {
@@ -240,9 +239,10 @@ impl Procedure for Hypothesis {
                         self.stage = Stage::UnwindWait(WaitRounds::new(self.hs.w), port);
                     }
                     None => {
-                        let remaining = self.hs.t_h.checked_sub(self.rounds_spent).expect(
-                            "hypothesis exceeded its budget T_h — schedule bound violated",
-                        );
+                        let remaining =
+                            self.hs.t_h.checked_sub(self.rounds_spent).expect(
+                                "hypothesis exceeded its budget T_h — schedule bound violated",
+                            );
                         self.stage = Stage::Pad(WaitRounds::new(remaining));
                     }
                 },

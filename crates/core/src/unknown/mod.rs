@@ -459,9 +459,13 @@ mod tests {
         // schedule-derived round limit, and the outcome reports it.
         let cfg = cfg_ring3(&[(1, 0), (2, 2)]);
         let omega = SliceEnumeration::new(vec![cfg_path2(1, 2)]);
-        let (outcome, reports) =
-            run_unknown(&cfg, omega, EstMode::Conservative, WakeSchedule::Simultaneous)
-                .expect("run completes");
+        let (outcome, reports) = run_unknown(
+            &cfg,
+            omega,
+            EstMode::Conservative,
+            WakeSchedule::Simultaneous,
+        )
+        .expect("run completes");
         assert!(!outcome.all_declared());
         assert!(reports.iter().all(|(_, r)| r.is_none()));
     }

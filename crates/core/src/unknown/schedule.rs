@@ -130,9 +130,17 @@ impl UnknownSchedule {
         let mut d_prev: u32 = 0;
         for h in 1..=enumeration.len() {
             let cfg = enumeration.get(h);
-            let hs = Self::for_hypothesis(cfg.size() as u32, cfg.agent_count() as u32, sum_t, w_prev, d_prev)
+            let hs = Self::for_hypothesis(
+                cfg.size() as u32,
+                cfg.agent_count() as u32,
+                sum_t,
+                w_prev,
+                d_prev,
+            )
+            .ok_or(ScheduleError::Overflow { h })?;
+            sum_t = sum_t
+                .checked_add(hs.t_h)
                 .ok_or(ScheduleError::Overflow { h })?;
-            sum_t = sum_t.checked_add(hs.t_h).ok_or(ScheduleError::Overflow { h })?;
             w_prev = hs.w;
             d_prev = d_prev.max(hs.r_ball).max(hs.d_main);
             per.push(hs);
@@ -272,11 +280,8 @@ mod tests {
 
     #[test]
     fn schedule_satisfies_dominance_inequalities() {
-        let omega = SliceEnumeration::new(vec![
-            cfg(2, &[1, 2]),
-            cfg(3, &[1, 2]),
-            cfg(3, &[1, 2, 3]),
-        ]);
+        let omega =
+            SliceEnumeration::new(vec![cfg(2, &[1, 2]), cfg(3, &[1, 2]), cfg(3, &[1, 2, 3])]);
         let sched = UnknownSchedule::new(omega).unwrap();
         let mut sum_t = 0u64;
         for h in 1..=sched.horizon() {
@@ -291,7 +296,9 @@ mod tests {
             assert!(hs.t_h >= hs.t_bt + 3 * hs.s + hs.sens);
             // Ball radius covers main-part stray against anything earlier
             // (Claim 4.1).
-            assert!(hs.r_ball > 2 * hs.d_main || hs.r_ball > hs.d_main + sched.hypothesis(1).r_ball);
+            assert!(
+                hs.r_ball > 2 * hs.d_main || hs.r_ball > hs.d_main + sched.hypothesis(1).r_ball
+            );
             sum_t += hs.t_h;
         }
         // Monotonicity of the slow wait.
@@ -308,7 +315,11 @@ mod tests {
         assert_eq!(hs.alpha, 1);
         assert_eq!(hs.t_est, 2); // single path of length 1, out and back
         assert_eq!(hs.dur_gsc, 8);
-        assert!(hs.t_h < 1_000_000, "2-node hypothesis stays tiny: {}", hs.t_h);
+        assert!(
+            hs.t_h < 1_000_000,
+            "2-node hypothesis stays tiny: {}",
+            hs.t_h
+        );
     }
 
     #[test]

@@ -180,9 +180,7 @@ mod tests {
         let outcome = engine.run(1_000_000).unwrap();
         (0..team_len)
             .map(|idx| {
-                let rec = outcome.declarations[idx]
-                    .1
-                    .expect("checker must terminate");
+                let rec = outcome.declarations[idx].1.expect("checker must terminate");
                 rec.declaration.size == Some(1)
             })
             .collect()
@@ -194,11 +192,7 @@ mod tests {
         let g = generators::star(4);
         let verdicts = run_checkers(
             &g,
-            &[
-                (1, 1, vec![0], 0),
-                (2, 2, vec![0], 1),
-                (3, 3, vec![0], 2),
-            ],
+            &[(1, 1, vec![0], 0), (2, 2, vec![0], 1), (3, 3, vec![0], 2)],
             3,
             vec![],
         );
@@ -214,11 +208,7 @@ mod tests {
             &g,
             &[(1, 1, vec![0], 0), (2, 2, vec![0], 1), (3, 3, vec![0], 2)],
             3,
-            vec![(
-                9,
-                4,
-                Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
-            )],
+            vec![(9, 4, Box::new(ProcBehavior::declaring(WaitRounds::new(0))))],
         );
         assert_eq!(verdicts, vec![false, false, false]);
     }
@@ -290,12 +280,7 @@ mod tests {
         // k = 3 expected but only 2 agents show up: the waiter rhythm is
         // off from the start.
         let g = generators::star(4);
-        let verdicts = run_checkers(
-            &g,
-            &[(1, 1, vec![0], 0), (2, 2, vec![0], 1)],
-            3,
-            vec![],
-        );
+        let verdicts = run_checkers(&g, &[(1, 1, vec![0], 0), (2, 2, vec![0], 1)], 3, vec![]);
         assert_eq!(verdicts, vec![false, false]);
     }
 }

@@ -1,0 +1,368 @@
+//! An offline, API-compatible subset of the [`criterion`] benchmarking
+//! crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of criterion's surface that the benches use: `Criterion` with
+//! `sample_size` / `warm_up_time` / `measurement_time`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs one warm-up
+//! iteration, then measures up to `sample_size` iterations (stopping early
+//! once `measurement_time` is exceeded) and reports min / mean / max
+//! wall-clock time per iteration. There is no outlier analysis, HTML
+//! report, or baseline comparison. Swap this path dependency for the
+//! crates.io `criterion` without touching any bench code once the
+//! environment can fetch registries.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// When set (cargo invokes bench binaries with `--test` during
+/// `cargo test --benches`), every benchmark runs a single smoke iteration
+/// instead of warm-up plus measurement — matching real criterion's test
+/// mode.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+#[doc(hidden)]
+pub fn set_test_mode(on: bool) {
+    TEST_MODE.store(on, Ordering::Relaxed);
+}
+
+/// The benchmark driver: configuration plus result reporting.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured iterations per benchmark (upper bound here).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget before measurement begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the measured iterations.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Compatibility no-op (the real crate reads CLI flags here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.to_string(), None, self.sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F>(
+        &self,
+        label: &str,
+        throughput: Option<&Throughput>,
+        sample_size: usize,
+        f: &mut F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(label, throughput);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override; does not leak into later groups or
+    /// free-standing `bench_function` calls (matching real criterion).
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with an elements/bytes-per-iteration
+    /// figure so the report can show a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the measured iterations for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Benchmarks a function under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let sample_size = self.effective_sample_size();
+        self.criterion
+            .run_one(&label, self.throughput.as_ref(), sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{id}", self.name);
+        let sample_size = self.effective_sample_size();
+        self.criterion
+            .run_one(&label, self.throughput.as_ref(), sample_size, &mut |b| {
+                f(b, input)
+            });
+        self
+    }
+
+    /// Ends the group (report lines are emitted eagerly, so this is a
+    /// formality kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function` measured at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{p}", self.function),
+            (false, None) => f.write_str(&self.function),
+            (true, Some(p)) => f.write_str(p),
+            (true, None) => f.write_str("<unnamed>"),
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it once to warm up and then up to
+    /// `sample_size` times (bounded by `measurement_time`). In `--test`
+    /// mode (see [`set_test_mode`]) the routine runs exactly once.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            self.samples.clear();
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            return;
+        }
+        // Warm-up: at least one run, more while inside the warm-up budget.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let budget_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples — closure never called iter)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().unwrap();
+        let max = *self.samples.iter().max().unwrap();
+        let rate = throughput.map(|t| {
+            let per_sec = |units: u64| units as f64 / mean.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!(" ({:.3e} elem/s)", per_sec(*n)),
+                Throughput::Bytes(n) => format!(" ({:.3e} B/s)", per_sec(*n)),
+            }
+        });
+        println!(
+            "{label:<40} time: [{min:?} {mean:?} {max:?}] ({} samples){}",
+            self.samples.len(),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo's bench runner passes flags like `--bench`; accept and
+            // ignore them. `--test` (from `cargo test --benches`) switches
+            // every benchmark to a single smoke iteration.
+            if ::std::env::args().any(|a| a == "--test") {
+                $crate::set_test_mode(true);
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_sample_size_does_not_leak_into_parent() {
+        let mut c = Criterion::default().sample_size(7);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        assert_eq!(g.effective_sample_size(), 2);
+        g.finish();
+        assert_eq!(c.sample_size, 7);
+        assert_eq!(c.benchmark_group("h").effective_sample_size(), 7);
+    }
+}

@@ -74,13 +74,12 @@ impl Procedure for Explo {
         }
         // Record the entry port of the previous forward move (observations
         // arrive one round after the move that caused them).
-        if self.tick >= 1 && self.tick <= len
-            && self.entries.len() < self.tick {
-                let p = obs
-                    .entry_port
-                    .expect("agent moved last round, entry port must be known");
-                self.entries.push(p);
-            }
+        if self.tick >= 1 && self.tick <= len && self.entries.len() < self.tick {
+            let p = obs
+                .entry_port
+                .expect("agent moved last round, entry port must be known");
+            self.entries.push(p);
+        }
         if self.tick < len {
             // Effective part: entry port of the current node is 0 at the
             // start, else the recorded entry of the previous move.
@@ -143,7 +142,9 @@ mod tests {
         engine.add_agent(
             label(2),
             other,
-            Box::new(ProcBehavior::declaring(nochatter_sim::proc::WaitRounds::new(0))),
+            Box::new(ProcBehavior::declaring(
+                nochatter_sim::proc::WaitRounds::new(0),
+            )),
         );
         engine.set_wake_schedule(WakeSchedule::Simultaneous);
         engine.record_trace(100_000);
@@ -185,8 +186,7 @@ mod tests {
         for g in &corpus {
             for start in g.nodes() {
                 let (_, _, visited) = run_single(g, start, Arc::clone(&uxs));
-                let distinct: std::collections::HashSet<_> =
-                    visited.iter().copied().collect();
+                let distinct: std::collections::HashSet<_> = visited.iter().copied().collect();
                 assert_eq!(
                     distinct.len(),
                     g.node_count(),
@@ -246,9 +246,6 @@ mod tests {
         let uxs = Arc::new(Uxs::from_steps(vec![]));
         let mut e = Explo::new(uxs);
         let obs = Obs::synthetic(0, 2, 3, None);
-        assert_eq!(
-            e.poll(&obs),
-            Poll::Complete(ExploOutcome { min_card: 3 })
-        );
+        assert_eq!(e.poll(&obs), Poll::Complete(ExploOutcome { min_card: 3 }));
     }
 }

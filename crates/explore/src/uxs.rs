@@ -225,9 +225,7 @@ impl Uxs {
 
     /// Whether the walk covers every graph in `corpus` from every start.
     pub fn covers_corpus(&self, corpus: &[Graph]) -> bool {
-        corpus
-            .iter()
-            .all(|g| g.nodes().all(|s| self.covers(g, s)))
+        corpus.iter().all(|g| g.nodes().all(|s| self.covers(g, s)))
     }
 
     /// The nodes visited (in order, with repeats) by the walk on `graph`

@@ -30,9 +30,7 @@ pub fn bfs_distances(graph: &Graph, from: NodeId) -> Vec<u32> {
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
         for p in 0..graph.degree(u) {
-            let (v, _) = graph
-                .neighbor(u, Port::new(p))
-                .expect("port within degree");
+            let (v, _) = graph.neighbor(u, Port::new(p)).expect("port within degree");
             if dist[v.index()] == u32::MAX {
                 dist[v.index()] = du + 1;
                 queue.push_back(v);

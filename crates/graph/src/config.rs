@@ -191,7 +191,9 @@ impl InitialConfiguration {
 
     /// Whether `label` belongs to the configuration (the paper's `L_x`).
     pub fn contains_label(&self, label: Label) -> bool {
-        self.agents.binary_search_by_key(&label, |&(l, _)| l).is_ok()
+        self.agents
+            .binary_search_by_key(&label, |&(l, _)| l)
+            .is_ok()
     }
 
     /// The smallest label.

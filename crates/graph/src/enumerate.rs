@@ -38,7 +38,10 @@ fn permutations(k: usize) -> Vec<Vec<u32>> {
     loop {
         result.push(cur.clone());
         // Next lexicographic permutation.
-        let Some(i) = (0..k.saturating_sub(1)).rev().find(|&i| cur[i] < cur[i + 1]) else {
+        let Some(i) = (0..k.saturating_sub(1))
+            .rev()
+            .find(|&i| cur[i] < cur[i + 1])
+        else {
             break;
         };
         let j = (i + 1..k).rev().find(|&j| cur[j] > cur[i]).expect("exists");
@@ -89,16 +92,22 @@ pub fn connected_graphs(n: u32) -> Vec<Graph> {
         // All combinations of per-node port permutations. perm_choices[u] is
         // the list of candidate assignments: ports[j] is the port of the
         // j-th incident edge.
-        let perm_choices: Vec<Vec<Vec<u32>>> = incident
-            .iter()
-            .map(|inc| permutations(inc.len()))
-            .collect();
+        let perm_choices: Vec<Vec<Vec<u32>>> =
+            incident.iter().map(|inc| permutations(inc.len())).collect();
         let mut idx = vec![0usize; n as usize];
         loop {
             let mut b = GraphBuilder::new(n);
             for (i, &(u, v)) in chosen.iter().enumerate() {
-                let pu = port_of(&incident[u as usize], &perm_choices[u as usize][idx[u as usize]], i);
-                let pv = port_of(&incident[v as usize], &perm_choices[v as usize][idx[v as usize]], i);
+                let pu = port_of(
+                    &incident[u as usize],
+                    &perm_choices[u as usize][idx[u as usize]],
+                    i,
+                );
+                let pv = port_of(
+                    &incident[v as usize],
+                    &perm_choices[v as usize][idx[v as usize]],
+                    i,
+                );
                 b.edge(u, pu, v, pv);
             }
             graphs.push(b.build().expect("constructed graph is valid"));

@@ -61,7 +61,10 @@ impl fmt::Display for GraphError {
                 write!(f, "port {port} used twice at node {node}")
             }
             GraphError::PortGap { node, port } => {
-                write!(f, "ports at node {node} are not contiguous: missing port {port}")
+                write!(
+                    f,
+                    "ports at node {node} are not contiguous: missing port {port}"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
         }

@@ -468,9 +468,18 @@ mod tests {
     fn complete_port_convention() {
         let g = complete(4);
         // At node 2, port 0 -> node 0, port 1 -> node 1, port 2 -> node 3.
-        assert_eq!(g.neighbor(NodeId::new(2), Port::new(0)).unwrap().0, NodeId::new(0));
-        assert_eq!(g.neighbor(NodeId::new(2), Port::new(1)).unwrap().0, NodeId::new(1));
-        assert_eq!(g.neighbor(NodeId::new(2), Port::new(2)).unwrap().0, NodeId::new(3));
+        assert_eq!(
+            g.neighbor(NodeId::new(2), Port::new(0)).unwrap().0,
+            NodeId::new(0)
+        );
+        assert_eq!(
+            g.neighbor(NodeId::new(2), Port::new(1)).unwrap().0,
+            NodeId::new(1)
+        );
+        assert_eq!(
+            g.neighbor(NodeId::new(2), Port::new(2)).unwrap().0,
+            NodeId::new(3)
+        );
     }
 
     #[test]
@@ -609,7 +618,13 @@ mod tests {
     #[test]
     fn from_pairs_ports_follow_insertion_order() {
         let g = from_pairs(3, &[(0, 1), (0, 2)]);
-        assert_eq!(g.neighbor(NodeId::new(0), Port::new(0)).unwrap().0, NodeId::new(1));
-        assert_eq!(g.neighbor(NodeId::new(0), Port::new(1)).unwrap().0, NodeId::new(2));
+        assert_eq!(
+            g.neighbor(NodeId::new(0), Port::new(0)).unwrap().0,
+            NodeId::new(1)
+        );
+        assert_eq!(
+            g.neighbor(NodeId::new(0), Port::new(1)).unwrap().0,
+            NodeId::new(2)
+        );
     }
 }

@@ -194,6 +194,81 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_same_generated_graph() {
+        use crate::generators;
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(
+                generators::random_tree(9, seed),
+                generators::random_tree(9, seed)
+            );
+            assert_eq!(
+                generators::random_connected(9, 4, seed),
+                generators::random_connected(9, 4, seed)
+            );
+            let base = generators::grid(3, 3);
+            assert_eq!(
+                generators::with_shuffled_ports(&base, seed),
+                generators::with_shuffled_ports(&base, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_random_graphs() {
+        use crate::generators;
+        // Not guaranteed for every pair, but these seeds must diverge
+        // somewhere across the sweep or the generator is ignoring its seed.
+        let distinct = (0u64..8)
+            .map(|seed| generators::random_connected(10, 5, seed))
+            .collect::<Vec<_>>();
+        assert!(
+            distinct.windows(2).any(|w| w[0] != w[1]),
+            "random_connected ignored its seed"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_initial_configuration() {
+        use crate::{generators, InitialConfiguration, Label, NodeId};
+        let build = |seed: u64| {
+            let g = generators::random_connected(8, 3, seed);
+            let mut rng = Rng::seed_from(seed);
+            let mut nodes: Vec<u32> = (0..g.node_count() as u32).collect();
+            rng.shuffle(&mut nodes);
+            let agents = nodes
+                .iter()
+                .take(3)
+                .enumerate()
+                .map(|(i, &v)| (Label::new(i as u64 + 1).unwrap(), NodeId::new(v)))
+                .collect();
+            InitialConfiguration::new(g, agents).unwrap()
+        };
+        for seed in [3u64, 17, 2026] {
+            assert_eq!(build(seed), build(seed));
+        }
+    }
+
+    #[test]
+    fn pinned_stream_golden_values() {
+        // Golden outputs for seed 42: the exploration sequences and
+        // generated graphs derive from this stream, so any change to the
+        // generator silently invalidates recorded experiments. Computed
+        // once from this implementation of xoshiro256** + SplitMix64
+        // seeding; must never change across platforms or refactors.
+        let mut r = Rng::seed_from(42);
+        let got: [u64; 4] = std::array::from_fn(|_| r.next_u64());
+        assert_eq!(
+            got,
+            [
+                1546998764402558742,
+                6990951692964543102,
+                12544586762248559009,
+                17057574109182124193
+            ]
+        );
+    }
+
+    #[test]
     fn known_first_output() {
         // Pin the stream so accidental algorithm changes are caught: the
         // exploration sequences derived from this generator are part of the

@@ -1,0 +1,49 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Rejection, TestRng};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy generating any value of `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for a primitive type (see [`Arbitrary`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prims {
+    ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, $rng: &mut TestRng) -> Result<$t, Rejection> {
+                Ok($gen)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_prims! {
+    bool => |rng| rng.bool();
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+}

@@ -1,0 +1,166 @@
+//! An offline, API-compatible subset of the [`proptest`] property-testing
+//! crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of proptest's surface that the test suites use: the
+//! [`proptest!`] macro, [`Strategy`](strategy::Strategy) with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, range and tuple strategies,
+//! [`collection`] strategies (`vec`, `btree_set`, `hash_set`),
+//! `any::<T>()`, `Just`, `ProptestConfig`, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics with the formatted assertion
+//!   message; rerun under the same build to reproduce (generation is
+//!   deterministic per test name).
+//! * **Deterministic seeding.** The RNG is seeded from the test's name, so
+//!   every run of a given binary explores the same cases. This trades
+//!   ongoing fuzzing power for reproducibility, which suits a CI gate.
+//!
+//! Swap this path dependency for the crates.io `proptest` without touching
+//! any test code once the environment can fetch registries.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn` body runs once per generated case.
+///
+/// In test modules, write `#[test]` above each `fn` as with the real
+/// crate; the attribute list is passed through verbatim. (This doc example
+/// omits it so the function survives the non-test doctest build and can be
+/// invoked directly.)
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run_proptest(&config, stringify!($name), |__rng| {
+                    $(
+                        let $pat = match $crate::strategy::Strategy::sample(&($strat), __rng) {
+                            ::std::result::Result::Ok(v) => v,
+                            ::std::result::Result::Err(r) => {
+                                return ::std::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Reject(r),
+                                )
+                            }
+                        };
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case (without shrinking) if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (does not count towards `cases`) if the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                $crate::test_runner::Rejection::new(concat!(
+                    "assumption failed: ",
+                    stringify!($cond)
+                )),
+            ));
+        }
+    };
+}

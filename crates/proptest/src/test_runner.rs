@@ -1,0 +1,116 @@
+//! The case runner: deterministic RNG, config, and case outcomes.
+
+use std::fmt;
+
+/// Why a generated case (or a value inside a strategy) was discarded.
+#[derive(Clone, Debug)]
+pub struct Rejection(String);
+
+impl Rejection {
+    /// A rejection with the given human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Rejection(reason.into())
+    }
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The outcome of one property-test case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case does not apply (`prop_assume!` / filter miss); try another.
+    Reject(Rejection),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+/// Mirror of `proptest::test_runner::Config` for the fields the tests set.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Upper bound on rejected cases across the whole test.
+    pub max_global_rejects: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_global_rejects: 4096,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// SplitMix64: tiny, high-quality, and identical on every platform.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream deterministically from the test's name so each test
+    /// explores a stable, distinct set of cases.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+
+    /// A uniformly random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Drives `f` until `config.cases` cases pass, panicking on the first
+/// failure. Called by the [`proptest!`](crate::proptest) expansion.
+pub fn run_proptest<F>(config: &Config, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{name}: too many rejected cases ({rejected}); last reason: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {} failed: {msg}", accepted + 1);
+            }
+        }
+    }
+}

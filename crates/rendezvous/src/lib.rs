@@ -150,21 +150,20 @@ impl Procedure for Tz {
             self.block += 1;
             self.explo = None;
         }
-        let action = if self.schedule.is_active(self.block)
-            && (self.l..3 * self.l).contains(&self.tick)
-        {
-            let explo = self
-                .explo
-                .get_or_insert_with(|| Explo::new(Arc::clone(&self.uxs)));
-            match explo.poll(obs) {
-                Poll::Yield(a) => a,
-                // EXPLO lasts exactly 2L polls and the active window is 2L
-                // polls wide, so completion cannot be observed here.
-                Poll::Complete(_) => unreachable!("EXPLO window sized to its duration"),
-            }
-        } else {
-            Action::Wait
-        };
+        let action =
+            if self.schedule.is_active(self.block) && (self.l..3 * self.l).contains(&self.tick) {
+                let explo = self
+                    .explo
+                    .get_or_insert_with(|| Explo::new(Arc::clone(&self.uxs)));
+                match explo.poll(obs) {
+                    Poll::Yield(a) => a,
+                    // EXPLO lasts exactly 2L polls and the active window is 2L
+                    // polls wide, so completion cannot be observed here.
+                    Poll::Complete(_) => unreachable!("EXPLO window sized to its duration"),
+                }
+            } else {
+                Action::Wait
+            };
         self.tick += 1;
         Poll::Yield(action)
     }
@@ -329,8 +328,7 @@ mod tests {
         for g in &graphs {
             for &(a, b) in &pairs {
                 for offset in [0, t / 4, t / 2] {
-                    let min_bits =
-                        (64 - a.leading_zeros()).min(64 - b.leading_zeros());
+                    let min_bits = (64 - a.leading_zeros()).min(64 - b.leading_zeros());
                     let bound = meeting_bound(&uxs, min_bits);
                     let met = run_tz(g, (0, 2), (a, b), offset, &uxs, offset + bound + 1)
                         .unwrap_or_else(|| {

@@ -176,10 +176,7 @@ impl<'g> Engine<'g> {
                     continue;
                 }
                 let here = self.agents[i].pos;
-                let visited = self
-                    .agents
-                    .iter()
-                    .any(|b| b.awake && b.pos == here);
+                let visited = self.agents.iter().any(|b| b.awake && b.pos == here);
                 if visited {
                     self.agents[i].awake = true;
                     self.agents[i].just_woken = true;
@@ -358,11 +355,7 @@ impl<'g> Engine<'g> {
         RunOutcome {
             status,
             rounds,
-            declarations: self
-                .agents
-                .iter()
-                .map(|a| (a.label, a.declared))
-                .collect(),
+            declarations: self.agents.iter().map(|a| (a.label, a.declared)).collect(),
             total_moves,
             engine_iterations,
             skipped_rounds,
@@ -542,16 +535,30 @@ mod tests {
             label(1),
             NodeId::new(0),
             Box::new(ProcBehavior::mapping(
-                RecordMax { dir: 1, max_seen: 0, steps: 1 },
-                |m| Declaration { leader: None, size: Some(m) },
+                RecordMax {
+                    dir: 1,
+                    max_seen: 0,
+                    steps: 1,
+                },
+                |m| Declaration {
+                    leader: None,
+                    size: Some(m),
+                },
             )),
         );
         engine.add_agent(
             label(2),
             NodeId::new(1),
             Box::new(ProcBehavior::mapping(
-                RecordMax { dir: 0, max_seen: 0, steps: 1 },
-                |m| Declaration { leader: None, size: Some(m) },
+                RecordMax {
+                    dir: 0,
+                    max_seen: 0,
+                    steps: 1,
+                },
+                |m| Declaration {
+                    leader: None,
+                    size: Some(m),
+                },
             )),
         );
         let outcome = engine.run(10).unwrap();
@@ -705,10 +712,12 @@ mod tests {
         engine.add_agent(
             label(1),
             NodeId::new(0),
-            Box::new(ProcBehavior::mapping(
-                CountAtStart { seen: None },
-                |c| Declaration { leader: None, size: Some(c) },
-            )),
+            Box::new(ProcBehavior::mapping(CountAtStart { seen: None }, |c| {
+                Declaration {
+                    leader: None,
+                    size: Some(c),
+                }
+            })),
         );
         struct MoveThenCount {
             moved: bool,
@@ -734,17 +743,20 @@ mod tests {
             label(2),
             NodeId::new(1),
             Box::new(ProcBehavior::mapping(
-                MoveThenCount { moved: false, seen: None },
-                |c| Declaration { leader: None, size: Some(c) },
+                MoveThenCount {
+                    moved: false,
+                    seen: None,
+                },
+                |c| Declaration {
+                    leader: None,
+                    size: Some(c),
+                },
             )),
         );
         let outcome = engine.run(10).unwrap();
         assert!(outcome.all_declared());
         // Agent 2 saw 2 after moving onto node 0.
-        assert_eq!(
-            outcome.declarations[1].1.unwrap().declaration.size,
-            Some(2)
-        );
+        assert_eq!(outcome.declarations[1].1.unwrap().declaration.size, Some(2));
         assert_eq!(outcome.max_colocation, 2);
     }
 }

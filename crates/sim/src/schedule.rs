@@ -60,7 +60,6 @@ impl WakeSchedule {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

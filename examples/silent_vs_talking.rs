@@ -15,7 +15,10 @@ use nochatter::sim::WakeSchedule;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let label = |v: u64| Label::new(v).ok_or("labels are positive");
-    println!("{:<8} {:>6} {:>14} {:>14} {:>8}", "graph", "agents", "silent", "talking", "ratio");
+    println!(
+        "{:<8} {:>6} {:>14} {:>14} {:>8}",
+        "graph", "agents", "silent", "talking", "ratio"
+    );
 
     for (name, graph, starts) in [
         ("ring6", generators::ring(6), vec![0u32, 2, 4]),
@@ -32,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let mut rounds = Vec::new();
         for mode in [CommMode::Silent, CommMode::Talking] {
-            let outcome =
-                harness::run_known(&cfg, &setup, mode, WakeSchedule::Simultaneous)?;
+            let outcome = harness::run_known(&cfg, &setup, mode, WakeSchedule::Simultaneous)?;
             let report = outcome.gathering()?;
             rounds.push(report.round);
         }

@@ -29,8 +29,8 @@ fn configure(graph: Graph, labels: &[u64]) -> InitialConfiguration {
 /// Runs and validates one instance; returns the declaration round.
 fn gather(cfg: &InitialConfiguration, n_upper: u32, schedule: WakeSchedule) -> u64 {
     let setup = KnownSetup::for_configuration(cfg, n_upper, 11);
-    let outcome = harness::run_known(cfg, &setup, CommMode::Silent, schedule)
-        .expect("engine runs cleanly");
+    let outcome =
+        harness::run_known(cfg, &setup, CommMode::Silent, schedule).expect("engine runs cleanly");
     let report = outcome
         .gathering()
         .unwrap_or_else(|e| panic!("invalid gathering: {e}"));
@@ -49,7 +49,11 @@ fn sweep_topologies_and_team_sizes() {
         ("grid32", generators::grid(3, 2), vec![9, 10, 12]),
         ("complete5", generators::complete(5), vec![5, 6, 7]),
         ("tree7", generators::binary_tree(3), vec![2, 11]),
-        ("rconn8", generators::random_connected(8, 4, 3), vec![1, 6, 8]),
+        (
+            "rconn8",
+            generators::random_connected(8, 4, 3),
+            vec![1, 6, 8],
+        ),
     ];
     for (name, graph, labels) in cases {
         let cfg = configure(graph, &labels);

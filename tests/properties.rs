@@ -17,13 +17,14 @@ fn label(v: u64) -> Label {
 
 /// A random small connected graph.
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (3u32..9, 0u32..5, any::<u64>(), 0usize..4).prop_map(|(n, extra, seed, family)| {
-        match family {
-            0 => generators::ring(n.max(3)),
-            1 => generators::random_tree(n, seed),
-            2 => generators::random_connected(n, extra, seed),
-            _ => generators::with_shuffled_ports(&generators::random_connected(n, extra, seed), seed ^ 0xABCD),
-        }
+    (3u32..9, 0u32..5, any::<u64>(), 0usize..4).prop_map(|(n, extra, seed, family)| match family {
+        0 => generators::ring(n.max(3)),
+        1 => generators::random_tree(n, seed),
+        2 => generators::random_connected(n, extra, seed),
+        _ => generators::with_shuffled_ports(
+            &generators::random_connected(n, extra, seed),
+            seed ^ 0xABCD,
+        ),
     })
 }
 

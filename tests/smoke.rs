@@ -1,0 +1,43 @@
+//! Smoke tests: the examples and benches must always *compile*, even
+//! though CI never runs the full (slow) benchmark suite. Invokes the same
+//! cargo that is running this test, against the same target directory, so
+//! in CI these are mostly-cached incremental builds.
+//!
+//! Set `NOCHATTER_SKIP_SMOKE=1` to skip (e.g. on machines where rebuild
+//! time matters more than this coverage).
+
+use std::process::Command;
+
+fn cargo(args: &[&str]) {
+    if std::env::var_os("NOCHATTER_SKIP_SMOKE").is_some() {
+        eprintln!(
+            "NOCHATTER_SKIP_SMOKE set; skipping `cargo {}`",
+            args.join(" ")
+        );
+        return;
+    }
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(args)
+        .current_dir(manifest_dir)
+        .output()
+        .expect("cargo spawns");
+    assert!(
+        output.status.success(),
+        "`cargo {}` failed:\n--- stdout\n{}\n--- stderr\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn examples_compile() {
+    cargo(&["build", "--examples"]);
+}
+
+#[test]
+fn benches_compile() {
+    cargo(&["bench", "--no-run"]);
+}

@@ -236,13 +236,12 @@ fn declared_agents_still_count_toward_curcard() {
     engine.add_agent(
         label(2),
         NodeId::new(1),
-        Box::new(ProcBehavior::mapping(
-            SenseNeighbor { moved: false },
-            |c| Declaration {
+        Box::new(ProcBehavior::mapping(SenseNeighbor { moved: false }, |c| {
+            Declaration {
                 leader: None,
                 size: Some(c),
-            },
-        )),
+            }
+        })),
     );
     let outcome = engine.run(100).unwrap();
     assert_eq!(

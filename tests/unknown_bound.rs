@@ -129,9 +129,13 @@ fn time_grows_exponentially_with_hypothesis_index() {
         SliceEnumeration::new(vec![decoy_a.clone(), truth.clone()]),
         SliceEnumeration::new(vec![decoy_a, decoy_b, truth.clone()]),
     ] {
-        let (outcome, _) =
-            run_unknown(&truth, omega, EstMode::Conservative, WakeSchedule::Simultaneous)
-                .expect("run succeeds");
+        let (outcome, _) = run_unknown(
+            &truth,
+            omega,
+            EstMode::Conservative,
+            WakeSchedule::Simultaneous,
+        )
+        .expect("run succeeds");
         rounds.push(outcome.gathering().unwrap().round);
     }
     // Blow-up measured in practice: ~5x then ~20x per extra decoy (the
