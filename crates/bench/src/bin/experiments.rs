@@ -1,25 +1,134 @@
-//! Regenerates the reproduction's tables and figures (see `DESIGN.md` §5).
+//! Regenerates the reproduction's tables and figures (see `DESIGN.md` §5)
+//! and runs declarative scenario campaigns.
 //!
 //! ```text
 //! experiments [--quick] [ids...]
 //! experiments all            # every experiment, full sweeps
 //! experiments --quick all    # every experiment, reduced sweeps
 //! experiments t1 f3          # a subset
+//!
+//! experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]
 //! ```
+//!
+//! The `campaign` subcommand expands the demo campaign (8 graph families ×
+//! sizes × teams × wake schedules × both sensing modes; 256 scenarios), or
+//! the tiny CI smoke campaign with `--smoke`, shards it over `--workers`
+//! threads (0 = all cores), and writes `<name>.json`, `<name>.csv` and
+//! `BENCH_campaign.json` under `--out` (default `target/campaign`). The
+//! JSON/CSV reports are bit-for-bit identical for any worker count.
 
 use std::process::ExitCode;
 
 use nochatter_bench::{all_experiment_ids, run_experiment, ExperimentCtx};
+use nochatter_lab::{presets, run_campaign};
+
+fn run_campaign_cli(args: &[String]) -> ExitCode {
+    let mut workers: usize = 0;
+    let mut seed: Option<u64> = None;
+    let mut out_dir = std::path::PathBuf::from("target/campaign");
+    let mut quick = false;
+    let mut smoke = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .map(ToOwned::to_owned)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--smoke" => smoke = true,
+            "--workers" => match value_for("--workers").map(|v| v.parse()) {
+                Ok(Ok(w)) => workers = w,
+                _ => {
+                    eprintln!("--workers needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match value_for("--seed").map(|v| v.parse()) {
+                Ok(Ok(s)) => seed = Some(s),
+                _ => {
+                    eprintln!("--seed needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match value_for("--out") {
+                Ok(dir) => out_dir = dir.into(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown campaign option: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Expanding the matrix under the chosen seed means a custom --seed
+    // re-derives random-family instances along with the scenario seeds.
+    // (--quick only shrinks the demo matrix; the smoke matrix is fixed.)
+    let (matrix, name, default_seed) = if smoke {
+        (presets::smoke_matrix(), "smoke", presets::SMOKE_SEED)
+    } else if quick {
+        (presets::demo_matrix(true), "demo-quick", presets::DEMO_SEED)
+    } else {
+        (presets::demo_matrix(false), "demo", presets::DEMO_SEED)
+    };
+    let campaign = matrix
+        .campaign(name, seed.unwrap_or(default_seed))
+        .expect("preset matrices are well-formed");
+    eprintln!(
+        "# campaign '{}': {} scenarios, seed {}",
+        campaign.name(),
+        campaign.len(),
+        campaign.seed()
+    );
+    let report = run_campaign(&campaign, workers);
+    let artifacts = match report.write_files(&out_dir) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot write reports under {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{}/{} scenarios ok in {:?} on {} worker(s)",
+        report.ok_count(),
+        report.records.len(),
+        report.wall,
+        report.workers
+    );
+    eprintln!(
+        "wrote {}, {}, {}",
+        artifacts.json.display(),
+        artifacts.csv.display(),
+        artifacts.trajectory.display()
+    );
+    if report.ok_count() == report.records.len() {
+        ExitCode::SUCCESS
+    } else {
+        for r in report.records.iter().filter(|r| !r.ok) {
+            eprintln!("FAILED {}: {}", r.key, r.status);
+        }
+        ExitCode::FAILURE
+    }
+}
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("campaign") {
+        return run_campaign_cli(&args[1..]);
+    }
     let mut quick = false;
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         match arg.as_str() {
             "--quick" => quick = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [all | {}]",
+                    "usage: experiments [--quick] [all | {}]\n       \
+                     experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]",
                     all_experiment_ids().join(" | ")
                 );
                 return ExitCode::SUCCESS;

@@ -10,6 +10,17 @@
 //! ```text
 //! cargo run -p nochatter-bench --release --bin experiments -- all
 //! ```
+//!
+//! Every scenario-sweep table (T1, F1, F2, T3, F3, T4, F4, T5, T6) is
+//! expressed as a [`nochatter_lab`] campaign: the sweep is a declarative
+//! [`Matrix`] (or an explicit scenario list for the unknown-bound tables),
+//! executed by the sharded deterministic campaign runner, and the table is
+//! a post-processing pass over the collected [`RunRecord`]s. Three
+//! experiments deliberately bypass the campaign runner because they probe
+//! *internal* machinery rather than end-to-end scenarios: T2 drives the
+//! `Communicate` subroutine with hand-built behaviors (Lemma 3.1's exact
+//! duration), and A1/A2 ablate internals (truncated exploration sequences,
+//! the clean-exploration shield) that no well-formed scenario can express.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,13 +29,17 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use nochatter_core::unknown::{
-    run_unknown, run_unknown_with_options, EstMode, SliceEnumeration, UnknownOptions,
+    run_unknown_with_options, EstMode, SliceEnumeration, UnknownOptions,
 };
 use nochatter_core::{harness, BitStr, CommMode, KnownParams, KnownSetup};
 use nochatter_explore::Uxs;
 use nochatter_graph::generators::{self, Family};
-use nochatter_graph::{Graph, InitialConfiguration, Label, NodeId};
-use nochatter_sim::{RunOutcome, WakeSchedule};
+use nochatter_graph::{InitialConfiguration, Label, NodeId};
+use nochatter_lab::{
+    mode_name, run_campaign, spread, wake_name, Campaign, Matrix, PayloadScheme, RunRecord,
+    Scenario, ScenarioKey, ScenarioKind,
+};
+use nochatter_sim::WakeSchedule;
 
 /// A rendered experiment: a titled markdown table plus free-form notes.
 #[derive(Clone, Debug)]
@@ -93,91 +108,18 @@ fn label(v: u64) -> Label {
     Label::new(v).unwrap()
 }
 
-/// Spreads `k` agents with the given labels evenly over the graph.
-fn spread(graph: Graph, labels: &[u64]) -> InitialConfiguration {
-    let n = graph.node_count();
-    let agents = labels
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (label(l), NodeId::new((i * n / labels.len()) as u32)))
-        .collect();
-    InitialConfiguration::new(graph, agents).unwrap()
+/// Runs a campaign on every available core (campaign results are
+/// bit-identical for any worker count, so tables don't depend on this).
+fn run(campaign: &Campaign) -> Vec<RunRecord> {
+    run_campaign(campaign, 0).records
 }
 
-fn run_silent(cfg: &InitialConfiguration, schedule: WakeSchedule, seed: u64) -> RunOutcome {
-    let setup = KnownSetup::for_configuration(cfg, cfg.size() as u32, seed);
-    harness::run_known(cfg, &setup, CommMode::Silent, schedule).expect("engine runs")
-}
-
-fn validity(outcome: &RunOutcome, cfg: &InitialConfiguration) -> Result<u64, String> {
-    match outcome.gathering() {
-        Ok(report) => {
-            let leader = report.leader.ok_or("no leader")?;
-            if !cfg.contains_label(leader) {
-                return Err(format!("phantom leader {leader}"));
-            }
-            Ok(report.round)
-        }
-        Err(e) => Err(e.to_string()),
-    }
-}
-
-/// T1 — Theorem 3.1 correctness sweep: families × sizes × team sizes ×
-/// wake schedules; every cell must validate.
-pub fn t1_correctness(ctx: ExperimentCtx) -> Table {
-    let mut t = Table::new(
-        "T1 — GatherKnownUpperBound correctness sweep (Theorem 3.1)",
-        vec!["family", "n", "k", "wake", "ok", "rounds", "moves"],
-    );
-    let sizes: &[u32] = if ctx.quick {
-        &[5, 8]
+fn ok_cell(r: &RunRecord) -> (String, String) {
+    if r.ok {
+        ("yes".into(), r.rounds.to_string())
     } else {
-        &[4, 6, 8, 10, 12]
-    };
-    let teams: &[&[u64]] = if ctx.quick {
-        &[&[2, 3], &[3, 5, 9]]
-    } else {
-        &[&[2, 3], &[3, 5, 9], &[1, 4, 6, 7]]
-    };
-    let schedules = [
-        ("simul", WakeSchedule::Simultaneous),
-        ("first", WakeSchedule::FirstOnly),
-        ("stag7", WakeSchedule::Staggered { gap: 7 }),
-    ];
-    let mut failures = 0u32;
-    for &family in Family::all() {
-        for &n in sizes {
-            for labels in teams {
-                if labels.len() > n as usize {
-                    continue;
-                }
-                for (wname, schedule) in &schedules {
-                    let cfg = spread(family.instantiate(n, 17), labels);
-                    let outcome = run_silent(&cfg, schedule.clone(), 5);
-                    let verdict = validity(&outcome, &cfg);
-                    failures += u32::from(verdict.is_err());
-                    let (ok_cell, round_cell) = match &verdict {
-                        Ok(r) => ("yes".to_string(), r.to_string()),
-                        Err(e) => (format!("NO: {e}"), String::new()),
-                    };
-                    t.row(vec![
-                        family.name().into(),
-                        cfg.size().to_string(),
-                        labels.len().to_string(),
-                        (*wname).into(),
-                        ok_cell,
-                        round_cell,
-                        outcome.total_moves.to_string(),
-                    ]);
-                }
-            }
-        }
+        (format!("NO: {}", r.status), String::new())
     }
-    t.note(format!(
-        "invariant violations: {failures} (expected 0) over {} runs",
-        t.rows.len()
-    ));
-    t
 }
 
 /// Least-squares slope of log(y) against log(x).
@@ -194,6 +136,57 @@ fn loglog_slope(points: &[(f64, f64)]) -> f64 {
     (n * sxy - sx * sy) / (n * sxx - sx * sx)
 }
 
+/// T1 — Theorem 3.1 correctness sweep: families × sizes × team sizes ×
+/// wake schedules; every cell must validate.
+pub fn t1_correctness(ctx: ExperimentCtx) -> Table {
+    let mut t = Table::new(
+        "T1 — GatherKnownUpperBound correctness sweep (Theorem 3.1)",
+        vec!["family", "n", "k", "wake", "ok", "rounds", "moves"],
+    );
+    let sizes: Vec<u32> = if ctx.quick {
+        vec![5, 8]
+    } else {
+        vec![4, 6, 8, 10, 12]
+    };
+    let teams: Vec<Vec<u64>> = if ctx.quick {
+        vec![vec![2, 3], vec![3, 5, 9]]
+    } else {
+        vec![vec![2, 3], vec![3, 5, 9], vec![1, 4, 6, 7]]
+    };
+    let campaign = Matrix {
+        families: Family::all().to_vec(),
+        sizes,
+        teams,
+        schedules: vec![
+            WakeSchedule::Simultaneous,
+            WakeSchedule::FirstOnly,
+            WakeSchedule::Staggered { gap: 7 },
+        ],
+        ..Matrix::new()
+    }
+    .campaign("t1", 17)
+    .expect("t1 matrix is well-formed");
+    let records = run(&campaign);
+    let failures = records.iter().filter(|r| !r.ok).count();
+    for r in &records {
+        let (ok, rounds) = ok_cell(r);
+        t.row(vec![
+            r.key.family.clone(),
+            r.n_actual.to_string(),
+            r.key.team.len().to_string(),
+            r.key.wake.clone(),
+            ok,
+            rounds,
+            r.moves.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "invariant violations: {failures} (expected 0) over {} runs",
+        records.len()
+    ));
+    t
+}
+
 /// F1 — Theorem 3.1 complexity in `N`: rounds vs network size on rings and
 /// random graphs, with the fitted log–log slope.
 pub fn f1_rounds_vs_n(ctx: ExperimentCtx) -> Table {
@@ -206,24 +199,31 @@ pub fn f1_rounds_vs_n(ctx: ExperimentCtx) -> Table {
     } else {
         vec![4, 6, 8, 10, 12, 14, 16]
     };
-    for family in [Family::Ring, Family::RandomConnected] {
+    let campaign = Matrix {
+        families: vec![Family::Ring, Family::RandomConnected],
+        sizes,
+        teams: vec![vec![2, 3]],
+        ..Matrix::new()
+    }
+    .campaign("f1", 9)
+    .expect("f1 matrix is well-formed");
+    let records = run(&campaign);
+    for family in ["rconn", "ring"] {
         let mut points = Vec::new();
-        for &n in &sizes {
-            let cfg = spread(family.instantiate(n, 3), &[2, 3]);
-            let outcome = run_silent(&cfg, WakeSchedule::Simultaneous, 9);
-            let round = validity(&outcome, &cfg).expect("F1 runs must validate");
-            points.push((f64::from(n), round as f64));
+        for r in records.iter().filter(|r| r.key.family == family) {
+            assert!(r.ok, "F1 runs must validate: {} {}", r.key, r.status);
+            points.push((f64::from(r.n_actual), r.rounds as f64));
             t.row(vec![
-                family.name().into(),
-                n.to_string(),
-                round.to_string(),
-                outcome.total_moves.to_string(),
+                r.key.family.clone(),
+                r.n_actual.to_string(),
+                r.rounds.to_string(),
+                r.moves.to_string(),
             ]);
         }
         t.note(format!(
             "{}: fitted log-log slope {:.2} (a low-degree polynomial; the dominant \
              term is T(EXPLO(N)) times the phase count)",
-            family.name(),
+            family,
             loglog_slope(&points)
         ));
     }
@@ -231,25 +231,41 @@ pub fn f1_rounds_vs_n(ctx: ExperimentCtx) -> Table {
 }
 
 /// F2 — Theorem 3.1 complexity in `ℓ`: rounds vs the bit length of the
-/// smallest label at fixed N.
+/// smallest label at fixed N, expressed as a campaign whose *team* axis
+/// sweeps label lengths.
 pub fn f2_rounds_vs_label_len(ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "F2 — rounds vs smallest-label bit length ℓ (Theorem 3.1: polynomial in ℓ)",
         vec!["ℓ", "labels", "rounds"],
     );
-    let max_bits = if ctx.quick { 6 } else { 10 };
+    let max_bits: u32 = if ctx.quick { 6 } else { 10 };
+    let teams: Vec<Vec<u64>> = (1..=max_bits)
+        .map(|bits| {
+            let small = 1u64 << (bits - 1); // smallest label with `bits` bits
+            vec![small, small + 1]
+        })
+        .collect();
+    let campaign = Matrix {
+        families: vec![Family::Ring],
+        sizes: vec![6],
+        teams: teams.clone(),
+        ..Matrix::new()
+    }
+    .campaign("f2", 2)
+    .expect("f2 matrix is well-formed");
+    let records = run(&campaign);
     let mut points = Vec::new();
-    for bits in 1..=max_bits {
-        let small = 1u64 << (bits - 1); // smallest label with `bits` bits
-        let labels = [small, small + 1];
-        let cfg = spread(generators::ring(6), &labels);
-        let outcome = run_silent(&cfg, WakeSchedule::Simultaneous, 2);
-        let round = validity(&outcome, &cfg).expect("F2 runs must validate");
-        points.push((f64::from(bits), round as f64));
+    for (bits, team) in (1..=max_bits).zip(&teams) {
+        let r = records
+            .iter()
+            .find(|r| &r.key.team == team)
+            .expect("every team ran");
+        assert!(r.ok, "F2 runs must validate: {}", r.status);
+        points.push((f64::from(bits), r.rounds as f64));
         t.row(vec![
             bits.to_string(),
-            format!("{{{}, {}}}", labels[0], labels[1]),
-            round.to_string(),
+            format!("{{{}, {}}}", team[0], team[1]),
+            r.rounds.to_string(),
         ]);
     }
     // The quadratic signature: first differences grow linearly (constant
@@ -278,6 +294,10 @@ pub fn f2_rounds_vs_label_len(ctx: ExperimentCtx) -> Table {
 
 /// T2 — Lemma 3.1: `Communicate` transmits the lexicographically smallest
 /// code with its exact multiplicity, in exactly `5·i·T(EXPLO(N))` rounds.
+///
+/// Deliberately not a campaign: it drives the `Communicate` subroutine in
+/// isolation with hand-built behaviors to pin the lemma's *exact* duration,
+/// which no end-to-end scenario exposes.
 pub fn t2_communicate(_ctx: ExperimentCtx) -> Table {
     use nochatter_core::Communicate;
     use nochatter_sim::proc::Procedure;
@@ -389,6 +409,40 @@ fn tiny_cfg(kind: &str, labels: &[(u64, u32)]) -> InitialConfiguration {
     .unwrap()
 }
 
+/// Builds one explicit unknown-bound scenario: `truth` against an
+/// enumeration of `decoys` followed by the truth itself.
+fn unknown_scenario(
+    name: &str,
+    truth: InitialConfiguration,
+    decoys: Vec<InitialConfiguration>,
+) -> Scenario {
+    let mode = CommMode::Silent;
+    let schedule = WakeSchedule::Simultaneous;
+    let kind = ScenarioKind::Unknown {
+        decoys,
+        est_mode: EstMode::Conservative,
+    };
+    // Key strings come from the lab helpers so explicit scenarios can never
+    // desync from matrix-expanded ones.
+    let key = ScenarioKey {
+        family: name.to_string(),
+        n: truth.size() as u32,
+        team: truth.labels().map(Label::value).collect(),
+        wake: wake_name(&schedule),
+        mode: mode_name(mode).into(),
+        variant: kind.variant_name(),
+        rep: 0,
+    };
+    Scenario {
+        key,
+        cfg: truth,
+        mode,
+        schedule,
+        kind,
+        seed: 0, // overwritten by Campaign::from_scenarios
+    }
+}
+
 /// T3 — Theorem 4.1: gathering + leader election + exact size learning with
 /// no prior knowledge, across truth positions in the enumeration.
 pub fn t3_unknown(ctx: ExperimentCtx) -> Table {
@@ -407,49 +461,34 @@ pub fn t3_unknown(ctx: ExperimentCtx) -> Table {
     let truth2 = tiny_cfg("path2", &[(1, 0), (2, 1)]);
     let truth3 = tiny_cfg("ring3", &[(1, 0), (2, 1)]);
     let decoy = tiny_cfg("path2", &[(3, 0), (4, 1)]);
-    let mut cases: Vec<(&str, InitialConfiguration, Vec<InitialConfiguration>)> = vec![
-        ("path2@1", truth2.clone(), vec![truth2.clone()]),
-        ("ring3@1", truth3.clone(), vec![truth3.clone()]),
-        (
-            "ring3@2",
-            truth3.clone(),
-            vec![decoy.clone(), truth3.clone()],
-        ),
+    let mut scenarios = vec![
+        unknown_scenario("path2", truth2.clone(), vec![]),
+        unknown_scenario("ring3", truth3.clone(), vec![]),
+        unknown_scenario("ring3", truth3.clone(), vec![decoy.clone()]),
     ];
     if !ctx.quick {
-        cases.push((
-            "ring3@3",
+        scenarios.push(unknown_scenario(
+            "ring3",
             truth3.clone(),
-            vec![
-                decoy.clone(),
-                tiny_cfg("path2", &[(5, 0), (6, 1)]),
-                truth3.clone(),
-            ],
+            vec![decoy.clone(), tiny_cfg("path2", &[(5, 0), (6, 1)])],
         ));
     }
-    for (name, truth, omega) in cases {
-        let h_star = omega.len();
-        let (outcome, reports) = run_unknown(
-            &truth,
-            SliceEnumeration::new(omega),
-            EstMode::Conservative,
-            WakeSchedule::Simultaneous,
-        )
-        .expect("run completes");
-        let verdict = validity(&outcome, &truth);
-        let report = reports[0].1;
-        let ok_cell = match &verdict {
-            Ok(_) => "yes".to_string(),
-            Err(e) => format!("NO: {e}"),
-        };
+    let campaign =
+        Campaign::from_scenarios("t3", 0, scenarios).expect("t3 scenarios are well-formed");
+    let mut records = run(&campaign);
+    // Present in enumeration-depth order (key order sorts path2 first).
+    records.sort_by_key(|r| (r.key.family.clone(), r.key.variant.clone()));
+    for r in &records {
+        let h_star = r.key.variant.trim_start_matches("unknown@").to_string();
+        let (ok, _) = ok_cell(r);
         t.row(vec![
-            name.into(),
-            h_star.to_string(),
-            ok_cell,
-            report.map(|r| r.size.to_string()).unwrap_or_default(),
-            report.map(|r| r.leader.to_string()).unwrap_or_default(),
-            outcome.rounds.to_string(),
-            outcome.engine_iterations.to_string(),
+            format!("{}@{h_star}", r.key.family),
+            h_star,
+            ok,
+            r.size.map(|s| s.to_string()).unwrap_or_default(),
+            r.leader.map(|l| l.to_string()).unwrap_or_default(),
+            r.rounds.to_string(),
+            r.engine_iterations.to_string(),
         ]);
     }
     t.note("size must equal the true network size; leader must be the true smallest label.");
@@ -469,23 +508,26 @@ pub fn f3_unknown_growth(ctx: ExperimentCtx) -> Table {
         tiny_cfg("path2", &[(3, 0), (4, 1)]),
     ];
     let depth = if ctx.quick { 2 } else { 3 };
-    for h_star in 1..=depth {
-        let mut omega: Vec<InitialConfiguration> =
-            decoys.iter().take(h_star - 1).cloned().collect();
-        omega.push(truth.clone());
-        let (outcome, _) = run_unknown(
-            &truth,
-            SliceEnumeration::new(omega),
-            EstMode::Conservative,
-            WakeSchedule::Simultaneous,
-        )
-        .expect("run completes");
-        let round = validity(&outcome, &truth).expect("F3 runs must validate");
+    let scenarios: Vec<Scenario> = (1..=depth)
+        .map(|h_star| {
+            unknown_scenario(
+                "ring3",
+                truth.clone(),
+                decoys.iter().take(h_star - 1).cloned().collect(),
+            )
+        })
+        .collect();
+    let campaign =
+        Campaign::from_scenarios("f3", 0, scenarios).expect("f3 scenarios are well-formed");
+    let mut records = run(&campaign);
+    records.sort_by_key(|r| r.key.variant.clone());
+    for r in &records {
+        assert!(r.ok, "F3 runs must validate: {}", r.status);
         t.row(vec![
-            h_star.to_string(),
-            round.to_string(),
-            outcome.engine_iterations.to_string(),
-            outcome.skipped_rounds.to_string(),
+            r.key.variant.trim_start_matches("unknown@").to_string(),
+            r.rounds.to_string(),
+            r.engine_iterations.to_string(),
+            r.skipped_rounds.to_string(),
         ]);
     }
     t.note(
@@ -496,60 +538,42 @@ pub fn f3_unknown_growth(ctx: ExperimentCtx) -> Table {
 }
 
 /// T4 — Theorem 5.1 correctness: every agent learns the exact multiset of
-/// messages.
+/// messages (the campaign runner verifies each agent's decoded multiset).
 pub fn t4_gossip(ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "T4 — Gossip correctness (Theorem 5.1)",
         vec!["k", "payload lengths", "ok", "rounds"],
     );
-    let teams: &[&[u64]] = if ctx.quick {
-        &[&[3, 4], &[2, 5, 9]]
+    let teams: Vec<Vec<u64>> = if ctx.quick {
+        vec![vec![3, 4], vec![2, 5, 9]]
     } else {
-        &[&[3, 4], &[2, 5, 9], &[1, 6, 11, 14]]
+        vec![vec![3, 4], vec![2, 5, 9], vec![1, 6, 11, 14]]
     };
-    for labels in teams {
-        let cfg = spread(generators::ring(5.max(labels.len() as u32 + 1)), labels);
-        let setup = KnownSetup::for_configuration(&cfg, cfg.size() as u32, 3);
-        let messages: Vec<(Label, BitStr)> = cfg
-            .agents()
-            .iter()
-            .enumerate()
-            .map(|(i, &(l, _))| (l, BitStr::from_bits((0..i).map(|b| b % 2 == 0).collect())))
-            .collect();
-        let (outcome, reports) = harness::run_gossip_outcome(
-            &cfg,
-            &setup,
-            CommMode::Silent,
-            &messages,
-            WakeSchedule::Simultaneous,
-        )
-        .expect("gossip runs");
-        let mut expected: Vec<BitStr> = messages.iter().map(|(_, m)| m.clone()).collect();
-        expected.sort();
-        let ok = reports.iter().all(|(_, rep)| {
-            let mut got: Vec<BitStr> = Vec::new();
-            for (payload, k) in rep.outcome.decoded() {
-                for _ in 0..k {
-                    got.push(payload.clone());
-                }
-            }
-            got.sort();
-            got == expected
-        });
+    let campaign = Matrix {
+        families: vec![Family::Ring],
+        sizes: vec![5],
+        teams,
+        kinds: vec![ScenarioKind::Gossip(PayloadScheme::Ramp)],
+        ..Matrix::new()
+    }
+    .campaign("t4", 3)
+    .expect("t4 matrix is well-formed");
+    let mut records = run(&campaign);
+    records.sort_by_key(|r| r.key.team.len());
+    for r in &records {
         t.row(vec![
-            labels.len().to_string(),
-            format!(
-                "{:?}",
-                messages.iter().map(|(_, m)| m.len()).collect::<Vec<_>>()
-            ),
-            if ok { "yes" } else { "NO" }.into(),
-            outcome.rounds.to_string(),
+            r.key.team.len().to_string(),
+            format!("{:?}", (0..r.key.team.len()).collect::<Vec<_>>()),
+            if r.ok { "yes" } else { "NO" }.into(),
+            r.rounds.to_string(),
         ]);
     }
     t
 }
 
-/// F4 — Theorem 5.1 complexity: rounds vs the largest message length.
+/// F4 — Theorem 5.1 complexity: rounds vs the largest message length. The
+/// campaign's variant axis sweeps `Gather` (the baseline isolating the
+/// gossip term) plus uniform payload lengths.
 pub fn f4_gossip_vs_len(ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "F4 — gossip rounds vs max message length (Theorem 5.1: polynomial)",
@@ -560,75 +584,90 @@ pub fn f4_gossip_vs_len(ctx: ExperimentCtx) -> Table {
     } else {
         &[1, 2, 4, 8, 16, 24]
     };
-    let cfg = spread(generators::path(3), &[2, 3]);
-    let setup = KnownSetup::for_configuration(&cfg, 3, 3);
-    // Baseline: gathering-only time, to isolate the gossip term.
-    let gather_only =
-        harness::run_known(&cfg, &setup, CommMode::Silent, WakeSchedule::Simultaneous)
-            .unwrap()
-            .gathering()
-            .unwrap()
-            .round;
+    let mut kinds = vec![ScenarioKind::Gather];
+    kinds.extend(
+        lens.iter()
+            .map(|&len| ScenarioKind::Gossip(PayloadScheme::Uniform { len })),
+    );
+    let campaign = Matrix {
+        families: vec![Family::Path],
+        sizes: vec![3],
+        teams: vec![vec![2, 3]],
+        kinds,
+        ..Matrix::new()
+    }
+    .campaign("f4", 3)
+    .expect("f4 matrix is well-formed");
+    let records = run(&campaign);
+    let gather_only = records
+        .iter()
+        .find(|r| r.key.variant == "gather")
+        .expect("baseline ran");
+    assert!(
+        gather_only.ok,
+        "baseline must gather: {}",
+        gather_only.status
+    );
     for &len in lens {
-        let messages: Vec<(Label, BitStr)> = cfg
-            .agents()
+        let variant = format!("gossip-u{len}");
+        let r = records
             .iter()
-            .map(|&(l, _)| (l, BitStr::from_bits(vec![true; len])))
-            .collect();
-        let (outcome, _) = harness::run_gossip_outcome(
-            &cfg,
-            &setup,
-            CommMode::Silent,
-            &messages,
-            WakeSchedule::Simultaneous,
-        )
-        .expect("gossip runs");
+            .find(|r| r.key.variant == variant)
+            .expect("every length ran");
+        assert!(r.ok, "F4 runs must validate: {}", r.status);
+        // The baseline shares the gossip runs' instance seed (the variant
+        // axis is outside the instance sub-key), so gathering takes the
+        // same rounds in both and the difference is exactly the gossip
+        // term; a failed subtraction means that sharing broke.
+        let gossip_term = r
+            .rounds
+            .checked_sub(gather_only.rounds)
+            .expect("gossip runs cannot finish before their own gathering baseline");
         t.row(vec![
             len.to_string(),
-            outcome.rounds.to_string(),
-            (outcome.rounds - gather_only).to_string(),
+            r.rounds.to_string(),
+            gossip_term.to_string(),
         ]);
     }
     t.note(format!(
-        "gathering-only baseline: {gather_only} rounds; the gossip term grows \
-         quadratically in |M| (length budget climbs 2,4,...,2|M|+2 with cost 5jT each)."
+        "gathering-only baseline: {} rounds; the gossip term grows \
+         quadratically in |M| (length budget climbs 2,4,...,2|M|+2 with cost 5jT each).",
+        gather_only.rounds
     ));
     t
 }
 
 /// T5 — the price of silence: identical instances under the weak model vs.
-/// the traditional talking model.
+/// the traditional talking model (the campaign's mode axis).
 pub fn t5_price_of_silence(ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "T5 — price of silence: weak model vs traditional model",
         vec!["family", "n", "k", "silent", "talking", "ratio"],
     );
-    let sizes: &[u32] = if ctx.quick { &[6] } else { &[6, 9, 12] };
+    let sizes: Vec<u32> = if ctx.quick { vec![6] } else { vec![6, 9, 12] };
+    let campaign = Matrix {
+        families: vec![Family::Ring, Family::Grid, Family::Star],
+        sizes,
+        teams: vec![vec![3, 5, 9]],
+        modes: vec![CommMode::Silent, CommMode::Talking],
+        ..Matrix::new()
+    }
+    .campaign("t5", 5)
+    .expect("t5 matrix is well-formed");
+    let report = run_campaign(&campaign, 0);
     let mut ratios = Vec::new();
-    for &family in &[Family::Ring, Family::Grid, Family::Star] {
-        for &n in sizes {
-            let cfg = spread(family.instantiate(n, 5), &[3, 5, 9]);
-            let setup = KnownSetup::for_configuration(&cfg, cfg.size() as u32, 5);
-            let mut rounds = [0u64; 2];
-            for (slot, mode) in [CommMode::Silent, CommMode::Talking]
-                .into_iter()
-                .enumerate()
-            {
-                let outcome = harness::run_known(&cfg, &setup, mode, WakeSchedule::Simultaneous)
-                    .expect("runs");
-                rounds[slot] = outcome.gathering().expect("valid").round;
-            }
-            let ratio = rounds[0] as f64 / rounds[1] as f64;
-            ratios.push(ratio);
-            t.row(vec![
-                family.name().into(),
-                cfg.size().to_string(),
-                "3".into(),
-                rounds[0].to_string(),
-                rounds[1].to_string(),
-                format!("{ratio:.3}"),
-            ]);
-        }
+    for (silent, talking) in report.mode_pairs("silent", "talking") {
+        assert!(silent.ok && talking.ok, "T5 runs must validate");
+        let ratio = silent.rounds as f64 / talking.rounds as f64;
+        ratios.push(ratio);
+        t.row(vec![
+            silent.key.family.clone(),
+            silent.n_actual.to_string(),
+            silent.key.team.len().to_string(),
+            silent.rounds.to_string(),
+            talking.rounds.to_string(),
+            format!("{ratio:.3}"),
+        ]);
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     t.note(format!(
@@ -638,70 +677,65 @@ pub fn t5_price_of_silence(ctx: ExperimentCtx) -> Table {
     t
 }
 
-/// T6 — agreement invariants: a randomized batch where every declaration
-/// property (same round, same node, same leader, leader in team) is
-/// checked individually.
+/// T6 — agreement invariants over a randomized batch: the campaign's seed
+/// repetitions sweep fresh random graphs under staggered wake-ups, and
+/// every record must pass the full gathering validation (same round, same
+/// node, same leader, leader in team).
 pub fn t6_agreement(ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "T6 — agreement invariants over randomized instances",
-        vec![
-            "runs",
-            "all declared",
-            "same round",
-            "same node",
-            "leader in team",
-        ],
+        vec!["runs", "gathered", "invariant violations", "engine errors"],
     );
-    let runs = if ctx.quick { 10 } else { 30 };
-    let mut ok = [0u32; 4];
-    for seed in 0..runs {
-        let g = generators::random_connected(5 + (seed % 6) as u32, (seed % 4) as u32, seed);
-        let labels: Vec<u64> = (0..2 + (seed % 3))
-            .map(|i| 2 + 3 * i + (seed % 5))
-            .collect();
-        let cfg = spread(g, &labels);
-        let outcome = run_silent(&cfg, WakeSchedule::Staggered { gap: seed % 13 + 1 }, seed);
-        let records: Vec<_> = outcome
-            .declarations
-            .iter()
-            .filter_map(|(_, r)| *r)
-            .collect();
-        if records.len() == outcome.declarations.len() {
-            ok[0] += 1;
-        }
-        if records.windows(2).all(|w| w[0].round == w[1].round) {
-            ok[1] += 1;
-        }
-        if records.windows(2).all(|w| w[0].node == w[1].node) {
-            ok[2] += 1;
-        }
-        if records
-            .first()
-            .and_then(|r| r.declaration.leader)
-            .is_some_and(|l| cfg.contains_label(l))
-        {
-            ok[3] += 1;
-        }
+    let campaign = Matrix {
+        families: vec![Family::RandomConnected, Family::RandomTree],
+        sizes: if ctx.quick {
+            vec![5, 7]
+        } else {
+            vec![5, 6, 7, 8]
+        },
+        teams: vec![vec![2, 5, 8], vec![3, 4]],
+        schedules: vec![
+            WakeSchedule::Staggered { gap: 1 },
+            WakeSchedule::Staggered { gap: 5 },
+            WakeSchedule::Staggered { gap: 13 },
+        ],
+        reps: if ctx.quick { 1 } else { 2 },
+        shuffled_ports: true,
+        ..Matrix::new()
     }
+    .campaign("t6", 6)
+    .expect("t6 matrix is well-formed");
+    let records = run(&campaign);
+    let gathered = records.iter().filter(|r| r.ok).count();
+    let engine_errors = records
+        .iter()
+        .filter(|r| r.status.starts_with("engine error"))
+        .count();
+    let violations = records.len() - gathered - engine_errors;
     t.row(vec![
-        runs.to_string(),
-        format!("{}/{runs}", ok[0]),
-        format!("{}/{runs}", ok[1]),
-        format!("{}/{runs}", ok[2]),
-        format!("{}/{runs}", ok[3]),
+        records.len().to_string(),
+        format!("{gathered}/{}", records.len()),
+        violations.to_string(),
+        engine_errors.to_string(),
     ]);
+    for r in records.iter().filter(|r| !r.ok) {
+        t.note(format!("violation at {}: {}", r.key, r.status));
+    }
     t
 }
 
 /// A1 — ablation: truncating the certified exploration sequence breaks the
 /// wake-up and rendezvous guarantees, and gathering fails.
+///
+/// Deliberately not a campaign: it injects *uncertified* exploration
+/// sequences, which no well-formed scenario specification can express.
 pub fn a1_uxs_ablation(_ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "A1 — ablation: uncertified (truncated) exploration sequences",
         vec!["fraction", "covers all starts", "gathering"],
     );
     let g = generators::ring(8);
-    let cfg = spread(g.clone(), &[2, 3]);
+    let cfg = spread(g.clone(), &[2, 3]).expect("valid ablation configuration");
     let full = Uxs::covering(std::slice::from_ref(&g), 11).unwrap();
     for percent in [100usize, 60, 30, 10] {
         let truncated = full.truncated((full.len() * percent / 100).max(1));
@@ -728,6 +762,10 @@ pub fn a1_uxs_ablation(_ctx: ExperimentCtx) -> Table {
 /// A2 — ablation: removing the `EnsureCleanExploration` shield lets a
 /// corrupted `EST` reconstruction declare gathering unsoundly (why
 /// Algorithm 10 and Lemma 4.10 exist).
+///
+/// Deliberately not a campaign: it toggles internal options
+/// (`disable_clean_exploration`, adversarial `EST`) that the scenario
+/// specification intentionally cannot reach.
 pub fn a2_est_ablation(_ctx: ExperimentCtx) -> Table {
     let mut t = Table::new(
         "A2 — ablation: the clean-exploration shield (Algorithm 10)",
@@ -845,13 +883,41 @@ mod tests {
     }
 
     #[test]
+    fn t3_learns_exact_sizes() {
+        let t = t3_unknown(quick());
+        for row in &t.rows {
+            assert_eq!(row[2], "yes", "{row:?}");
+            let truth = &row[0];
+            let expected = if truth.starts_with("path2") { "2" } else { "3" };
+            assert_eq!(row[3], expected, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn t4_all_rows_ok() {
+        let t = t4_gossip(quick());
+        assert!(!t.rows.is_empty());
+        assert!(t.rows.iter().all(|r| r[2] == "yes"), "{:?}", t.rows);
+    }
+
+    #[test]
+    fn t5_silence_never_speeds_up() {
+        let t = t5_price_of_silence(quick());
+        for row in &t.rows {
+            let silent: u64 = row[3].parse().unwrap();
+            let talking: u64 = row[4].parse().unwrap();
+            assert!(silent >= talking, "{row:?}");
+        }
+    }
+
+    #[test]
     fn t6_all_invariants_hold() {
         let t = t6_agreement(quick());
         let row = &t.rows[0];
-        for cell in &row[1..] {
-            let (num, den) = cell.split_once('/').unwrap();
-            assert_eq!(num, den, "invariant broken: {cell}");
-        }
+        let (num, den) = row[1].split_once('/').unwrap();
+        assert_eq!(num, den, "not all runs gathered: {row:?}");
+        assert_eq!(row[2], "0", "invariant violations: {:?}", t.notes);
+        assert_eq!(row[3], "0", "engine errors: {:?}", t.notes);
     }
 
     #[test]

@@ -59,8 +59,27 @@ pub fn run_known(
     mode: CommMode,
     schedule: WakeSchedule,
 ) -> Result<RunOutcome, SimError> {
+    run_known_traced(cfg, setup, mode, schedule, None)
+}
+
+/// [`run_known`] with optional event tracing (capacity in events); the
+/// recorded trace lands in [`RunOutcome::trace`].
+///
+/// # Errors
+///
+/// Propagates engine setup or protocol errors.
+pub fn run_known_traced(
+    cfg: &InitialConfiguration,
+    setup: &KnownSetup,
+    mode: CommMode,
+    schedule: WakeSchedule,
+    trace_capacity: Option<usize>,
+) -> Result<RunOutcome, SimError> {
     let mut engine = Engine::new(cfg.graph());
     engine.set_sensing(sensing_for(mode));
+    if let Some(capacity) = trace_capacity {
+        engine.record_trace(capacity);
+    }
     for &(label, start) in cfg.agents() {
         engine.add_agent(
             label,
@@ -73,6 +92,55 @@ pub fn run_known(
     engine.set_wake_schedule(schedule);
     let limit = setup.params.round_limit(cfg.smallest_label_bit_len());
     engine.run(limit)
+}
+
+/// The single entry point every scenario-style consumer (the bench tables,
+/// the `nochatter-lab` campaign runner, the differential tests, examples)
+/// uses to execute one known-upper-bound gathering scenario.
+///
+/// Builds the [`KnownSetup`] from `(cfg, seed)` — the exploration-sequence
+/// stream derives from `seed`, the bound is the true size — and runs under
+/// `mode` and `schedule`. Fully deterministic: identical arguments produce
+/// a bitwise-identical [`RunOutcome`], which is what makes sharded campaign
+/// runs reproducible regardless of worker count.
+///
+/// # Errors
+///
+/// Propagates engine setup or protocol errors.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_core::{harness, CommMode};
+/// use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
+/// use nochatter_sim::WakeSchedule;
+///
+/// let cfg = InitialConfiguration::new(
+///     generators::ring(4),
+///     vec![
+///         (Label::new(2).unwrap(), NodeId::new(0)),
+///         (Label::new(3).unwrap(), NodeId::new(2)),
+///     ],
+/// )?;
+/// let outcome = harness::run_scenario(
+///     &cfg,
+///     CommMode::Silent,
+///     WakeSchedule::Simultaneous,
+///     7,
+///     None,
+/// )?;
+/// assert!(outcome.gathering().is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_scenario(
+    cfg: &InitialConfiguration,
+    mode: CommMode,
+    schedule: WakeSchedule,
+    seed: u64,
+    trace_capacity: Option<usize>,
+) -> Result<RunOutcome, SimError> {
+    let setup = KnownSetup::for_configuration(cfg, cfg.size() as u32, seed);
+    run_known_traced(cfg, &setup, mode, schedule, trace_capacity)
 }
 
 /// Runs the composed gather-then-gossip algorithm and returns the outcome

@@ -1,0 +1,99 @@
+//! Canonical campaigns: the CI smoke campaign (golden-diffed byte for
+//! byte) and the demo campaign behind `experiments -- campaign`.
+
+use nochatter_core::CommMode;
+use nochatter_graph::generators::Family;
+use nochatter_sim::WakeSchedule;
+
+use crate::campaign::{Campaign, Matrix};
+
+/// The pinned master seed of [`smoke_campaign`] (the golden file is
+/// recorded under it).
+pub const SMOKE_SEED: u64 = 42;
+
+/// The default master seed of [`demo_campaign`].
+pub const DEMO_SEED: u64 = 2020;
+
+/// The smoke matrix: 2 families × 2 sizes × 2 schedules of silent
+/// gathering (8 scenarios).
+pub fn smoke_matrix() -> Matrix {
+    Matrix {
+        families: vec![Family::Ring, Family::Path],
+        sizes: vec![4, 5],
+        teams: vec![vec![2, 3]],
+        schedules: vec![WakeSchedule::Simultaneous, WakeSchedule::FirstOnly],
+        ..Matrix::new()
+    }
+}
+
+/// The CI smoke campaign: [`smoke_matrix`] under the pinned seed 42. Its
+/// JSON report is pinned as a golden file
+/// (`crates/lab/golden/campaign_smoke.json`); any change to the engine,
+/// the seed derivation or the serializers shows up as a diff there.
+pub fn smoke_campaign() -> Campaign {
+    smoke_matrix()
+        .campaign("smoke", SMOKE_SEED)
+        .expect("smoke campaign is well-formed")
+}
+
+/// The demo matrix: 8 graph families × 4 sizes × 2 teams × 2 wake
+/// schedules × both sensing modes of the gathering algorithm — 256
+/// scenarios (a few cells skip where the team outgrows the graph).
+/// `quick` halves the size axis for fast iteration.
+pub fn demo_matrix(quick: bool) -> Matrix {
+    let sizes: Vec<u32> = if quick { vec![4, 6] } else { vec![4, 6, 8, 9] };
+    Matrix {
+        families: vec![
+            Family::Ring,
+            Family::Path,
+            Family::Complete,
+            Family::Star,
+            Family::Grid,
+            Family::RandomTree,
+            Family::RandomConnected,
+            Family::Bipartite,
+        ],
+        sizes,
+        teams: vec![vec![2, 3], vec![3, 5, 9]],
+        schedules: vec![
+            WakeSchedule::Simultaneous,
+            WakeSchedule::Staggered { gap: 3 },
+        ],
+        modes: vec![CommMode::Silent, CommMode::Talking],
+        ..Matrix::new()
+    }
+}
+
+/// The demo campaign behind `experiments -- campaign`: [`demo_matrix`]
+/// under the default seed 2020.
+pub fn demo_campaign(quick: bool) -> Campaign {
+    demo_matrix(quick)
+        .campaign(if quick { "demo-quick" } else { "demo" }, DEMO_SEED)
+        .expect("demo campaign is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_is_tiny_and_fixed() {
+        let c = smoke_campaign();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.seed(), 42);
+    }
+
+    #[test]
+    fn demo_meets_the_acceptance_floor() {
+        let c = demo_campaign(false);
+        assert!(c.len() >= 200, "demo has {} scenarios", c.len());
+        let mut families: Vec<&str> = c
+            .scenarios()
+            .iter()
+            .map(|s| s.key.family.as_str())
+            .collect();
+        families.sort_unstable();
+        families.dedup();
+        assert!(families.len() >= 6, "only {} families", families.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Scenario keys and per-scenario run records.
+
+use std::fmt;
+
+use nochatter_sim::{Trace, TraceEvent};
+
+/// The identity of one scenario inside a campaign.
+///
+/// Keys are the reproducibility anchor of the whole subsystem: records are
+/// ordered by key (so reports are identical for any worker count), and each
+/// scenario's RNG seed is derived from the campaign seed and the key's
+/// canonical form (so adding axes to a campaign never reshuffles the seeds
+/// of existing cells).
+///
+/// The derived [`Ord`] sorts by field order — family, size, team, wake
+/// schedule, sensing mode, algorithm variant, repetition — which groups
+/// reports the way the tables read.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScenarioKey {
+    /// Graph family short name (e.g. `"ring"`), or a free-form tag for
+    /// explicitly constructed scenarios.
+    pub family: String,
+    /// Requested network size (the instantiated graph may round up).
+    pub n: u32,
+    /// Agent labels, in increasing order.
+    pub team: Vec<u64>,
+    /// Wake-schedule short name (e.g. `"simul"`, `"first"`, `"stag7"`).
+    pub wake: String,
+    /// Sensing/communication mode: `"silent"` or `"talking"`.
+    pub mode: String,
+    /// Algorithm variant short name (e.g. `"gather"`, `"gossip-u4"`).
+    pub variant: String,
+    /// Repetition index within the campaign's seed range.
+    pub rep: u64,
+}
+
+impl ScenarioKey {
+    /// The team rendered as dot-joined labels (e.g. `"2.3.9"`).
+    pub fn team_string(&self) -> String {
+        self.team
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// The canonical single-line form, unique per scenario within a
+    /// campaign.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}/n{}/t{}/w{}/{}/{}/r{}",
+            self.family,
+            self.n,
+            self.team_string(),
+            self.wake,
+            self.mode,
+            self.variant,
+            self.rep
+        )
+    }
+
+    /// The *instance* sub-key — family, size, team and repetition — naming
+    /// the network instance while excluding the execution axes (wake
+    /// schedule, sensing mode, algorithm variant). Cells sharing this
+    /// sub-key run on the identical configuration: this string (not the
+    /// full key, and not the expansion index) feeds per-scenario seed
+    /// derivation.
+    pub fn instance_canonical(&self) -> String {
+        format!(
+            "{}/n{}/t{}/r{}",
+            self.family,
+            self.n,
+            self.team_string(),
+            self.rep
+        )
+    }
+}
+
+impl fmt::Display for ScenarioKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// Everything measured about one executed scenario.
+///
+/// Plain data, cheap to send across worker threads, and the unit of the
+/// JSON/CSV reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunRecord {
+    /// The scenario's identity.
+    pub key: ScenarioKey,
+    /// The per-scenario seed derived from the campaign seed and the key.
+    pub seed: u64,
+    /// The instantiated graph's actual node count.
+    pub n_actual: u32,
+    /// Whether the scenario met its success criterion (validated gathering,
+    /// plus exact gossip decoding for gossip variants).
+    pub ok: bool,
+    /// `"gathered"`, or the first violated requirement / engine error.
+    pub status: String,
+    /// Rounds to the last declaration (or the round limit).
+    pub rounds: u64,
+    /// Total edge traversals across all agents.
+    pub moves: u64,
+    /// Engine loop iterations actually executed (fast-forward excluded).
+    pub engine_iterations: u64,
+    /// Rounds skipped by the quiescence fast-forward.
+    pub skipped_rounds: u64,
+    /// Largest observed co-location.
+    pub max_colocation: u32,
+    /// The commonly elected leader, if the run gathered with one.
+    pub leader: Option<u64>,
+    /// The common gathering node, if the run gathered.
+    pub node: Option<u32>,
+    /// The commonly declared size, if any.
+    pub size: Option<u32>,
+    /// FNV-1a digest of the execution trace (gather variants only).
+    pub trace_digest: Option<u64>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_u64(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash = (*hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a digest over arbitrary bytes (used for key-derived seeds).
+pub(crate) fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A 64-bit FNV-1a digest of a run's event trace.
+///
+/// Two runs with the same digest made the same wake-ups, moves and
+/// declarations in the same rounds — the differential and determinism test
+/// suites compare digests instead of hauling whole traces around. The
+/// encoding covers every event field plus the dropped-event count, so a
+/// truncated trace still digests deterministically.
+pub fn trace_digest(trace: &Trace) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for event in trace.events() {
+        match *event {
+            TraceEvent::Wake {
+                agent,
+                round,
+                by_visit,
+            } => {
+                fnv_u64(&mut hash, 1);
+                fnv_u64(&mut hash, agent.value());
+                fnv_u64(&mut hash, round);
+                fnv_u64(&mut hash, u64::from(by_visit));
+            }
+            TraceEvent::Move {
+                agent,
+                round,
+                from,
+                to,
+                port,
+            } => {
+                fnv_u64(&mut hash, 2);
+                fnv_u64(&mut hash, agent.value());
+                fnv_u64(&mut hash, round);
+                fnv_u64(&mut hash, from.index() as u64);
+                fnv_u64(&mut hash, to.index() as u64);
+                fnv_u64(&mut hash, port.index() as u64);
+            }
+            TraceEvent::Declare {
+                agent,
+                round,
+                node,
+                declaration,
+            } => {
+                fnv_u64(&mut hash, 3);
+                fnv_u64(&mut hash, agent.value());
+                fnv_u64(&mut hash, round);
+                fnv_u64(&mut hash, node.index() as u64);
+                fnv_u64(&mut hash, declaration.leader.map_or(0, |l| l.value()));
+                fnv_u64(&mut hash, declaration.size.map_or(0, |s| u64::from(s) + 1));
+            }
+            _ => fnv_u64(&mut hash, u64::MAX),
+        }
+    }
+    fnv_u64(&mut hash, trace.dropped());
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ScenarioKey {
+        ScenarioKey {
+            family: "ring".into(),
+            n: 6,
+            team: vec![2, 3, 9],
+            wake: "simul".into(),
+            mode: "silent".into(),
+            variant: "gather".into(),
+            rep: 0,
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_stable() {
+        assert_eq!(key().canonical(), "ring/n6/t2.3.9/wsimul/silent/gather/r0");
+        assert_eq!(key().to_string(), key().canonical());
+    }
+
+    #[test]
+    fn key_order_groups_by_family_then_size() {
+        let mut a = key();
+        a.family = "path".into();
+        let mut b = key();
+        b.n = 4;
+        let mut keys = vec![key(), a.clone(), b.clone()];
+        keys.sort();
+        assert_eq!(keys, vec![a, b, key()]);
+    }
+
+    #[test]
+    fn digest_distinguishes_traces() {
+        use nochatter_core::{harness, CommMode};
+        use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
+        use nochatter_sim::WakeSchedule;
+
+        let cfg = InitialConfiguration::new(
+            generators::ring(4),
+            vec![
+                (Label::new(2).unwrap(), NodeId::new(0)),
+                (Label::new(3).unwrap(), NodeId::new(2)),
+            ],
+        )
+        .unwrap();
+        let run = |schedule| {
+            harness::run_scenario(&cfg, CommMode::Silent, schedule, 7, Some(4096))
+                .unwrap()
+                .trace
+                .unwrap()
+        };
+        let simul = run(WakeSchedule::Simultaneous);
+        let first = run(WakeSchedule::FirstOnly);
+        // Same inputs → same digest; different schedules → different trace.
+        assert_eq!(
+            trace_digest(&simul),
+            trace_digest(&run(WakeSchedule::Simultaneous))
+        );
+        assert_ne!(trace_digest(&simul), trace_digest(&first));
+    }
+
+    #[test]
+    fn fnv_bytes_matches_reference_vector() {
+        // Standard FNV-1a test vector: empty input hashes to the offset.
+        assert_eq!(fnv_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

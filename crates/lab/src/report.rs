@@ -1,0 +1,336 @@
+//! Structured campaign reports: deterministic JSON and CSV, plus the
+//! `BENCH_campaign.json` trajectory artifact.
+//!
+//! The serializers are hand-rolled (the build environment is offline; no
+//! serde) and deliberately boring: fixed field order, `\n` line endings, a
+//! trailing newline, no floats except in the trajectory summary. Everything
+//! in [`CampaignReport::to_json`] and [`CampaignReport::to_csv`] is a pure
+//! function of the campaign spec — wall-clock time and worker count are
+//! excluded — so golden-file diffs and worker-count equality checks are
+//! byte-exact.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::record::RunRecord;
+
+/// The collected result of one campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Campaign name (also the report file stem).
+    pub name: String,
+    /// The campaign master seed.
+    pub seed: u64,
+    /// One record per scenario, in scenario-key order.
+    pub records: Vec<RunRecord>,
+    /// How many worker threads executed the run (not serialized into the
+    /// deterministic reports).
+    pub workers: usize,
+    /// Wall-clock duration of the run (not serialized into the
+    /// deterministic reports).
+    pub wall: Duration,
+}
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a CSV field: quoted iff it contains a comma, quote or newline.
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+impl CampaignReport {
+    /// How many scenarios met their success criterion.
+    pub fn ok_count(&self) -> usize {
+        self.records.iter().filter(|r| r.ok).count()
+    }
+
+    /// Looks up the record of a key by canonical form.
+    pub fn record(&self, canonical_key: &str) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .find(|r| r.key.canonical() == canonical_key)
+    }
+
+    /// Pairs every record in sensing mode `a` with its twin in mode `b` —
+    /// the record whose key is identical except for the mode axis. Since
+    /// seeds derive from the mode-independent instance sub-key, each pair
+    /// ran on the identical configuration; this is the lookup behind every
+    /// differential (silent vs talking) comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a twin is missing — a matrix listing both modes always
+    /// produces both.
+    pub fn mode_pairs(&self, a: &str, b: &str) -> Vec<(&RunRecord, &RunRecord)> {
+        self.records
+            .iter()
+            .filter(|r| r.key.mode == a)
+            .map(|ra| {
+                let mut key = ra.key.clone();
+                key.mode = b.to_string();
+                let rb = self
+                    .records
+                    .iter()
+                    .find(|r| r.key == key)
+                    .unwrap_or_else(|| panic!("no {b} twin for {}", ra.key));
+                (ra, rb)
+            })
+            .collect()
+    }
+
+    /// The deterministic JSON report: campaign identity plus one object per
+    /// record, in key order. Identical for any worker count.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"campaign\": \"{}\",", json_escape(&self.name));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"scenario_count\": {},", self.records.len());
+        let _ = writeln!(out, "  \"ok_count\": {},", self.ok_count());
+        let _ = writeln!(out, "  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"key\": \"{key}\", \"family\": \"{family}\", \"n\": {n}, \
+                 \"n_actual\": {n_actual}, \"team\": \"{team}\", \"wake\": \"{wake}\", \
+                 \"mode\": \"{mode}\", \"variant\": \"{variant}\", \"rep\": {rep}, \
+                 \"seed\": {seed}, \"ok\": {ok}, \"status\": \"{status}\", \
+                 \"rounds\": {rounds}, \"moves\": {moves}, \
+                 \"engine_iterations\": {iters}, \"skipped_rounds\": {skipped}, \
+                 \"max_colocation\": {coloc}, \"leader\": {leader}, \"node\": {node}, \
+                 \"size\": {size}, \"trace_digest\": {digest}}}{comma}",
+                key = json_escape(&r.key.canonical()),
+                family = json_escape(&r.key.family),
+                n = r.key.n,
+                n_actual = r.n_actual,
+                team = r.key.team_string(),
+                wake = json_escape(&r.key.wake),
+                mode = json_escape(&r.key.mode),
+                variant = json_escape(&r.key.variant),
+                rep = r.key.rep,
+                seed = r.seed,
+                ok = r.ok,
+                status = json_escape(&r.status),
+                rounds = r.rounds,
+                moves = r.moves,
+                iters = r.engine_iterations,
+                skipped = r.skipped_rounds,
+                coloc = r.max_colocation,
+                leader = opt_u64(r.leader),
+                node = opt_u64(r.node.map(u64::from)),
+                size = opt_u64(r.size.map(u64::from)),
+                digest = r
+                    .trace_digest
+                    .map_or_else(|| "null".into(), |d| format!("\"0x{d:016x}\"")),
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// The deterministic CSV report (same fields as the JSON records).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "key,family,n,n_actual,team,wake,mode,variant,rep,seed,ok,status,rounds,moves,\
+             engine_iterations,skipped_rounds,max_colocation,leader,node,size,trace_digest\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                csv_escape(&r.key.canonical()),
+                csv_escape(&r.key.family),
+                r.key.n,
+                r.n_actual,
+                r.key.team_string(),
+                csv_escape(&r.key.wake),
+                csv_escape(&r.key.mode),
+                csv_escape(&r.key.variant),
+                r.key.rep,
+                r.seed,
+                r.ok,
+                csv_escape(&r.status),
+                r.rounds,
+                r.moves,
+                r.engine_iterations,
+                r.skipped_rounds,
+                r.max_colocation,
+                r.leader.map_or_else(String::new, |v| v.to_string()),
+                r.node.map_or_else(String::new, |v| v.to_string()),
+                r.size.map_or_else(String::new, |v| v.to_string()),
+                r.trace_digest
+                    .map_or_else(String::new, |d| format!("0x{d:016x}")),
+            );
+        }
+        out
+    }
+
+    /// The `BENCH_campaign.json` trajectory artifact: campaign-level
+    /// aggregates plus the run's wall-clock time and worker count. Unlike
+    /// [`CampaignReport::to_json`], this file intentionally records *how*
+    /// the run executed, so it differs across machines and worker counts.
+    pub fn trajectory_json(&self) -> String {
+        let total_rounds: u64 = self.records.iter().map(|r| r.rounds).sum();
+        let total_moves: u64 = self.records.iter().map(|r| r.moves).sum();
+        let total_iters: u64 = self.records.iter().map(|r| r.engine_iterations).sum();
+        let mut families: Vec<&str> = self.records.iter().map(|r| r.key.family.as_str()).collect();
+        families.sort_unstable();
+        families.dedup();
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"campaign\": \"{}\",", json_escape(&self.name));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"scenario_count\": {},", self.records.len());
+        let _ = writeln!(out, "  \"ok_count\": {},", self.ok_count());
+        let _ = writeln!(
+            out,
+            "  \"families\": [{}],",
+            families
+                .iter()
+                .map(|f| format!("\"{}\"", json_escape(f)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(out, "  \"total_rounds\": {total_rounds},");
+        let _ = writeln!(out, "  \"total_moves\": {total_moves},");
+        let _ = writeln!(out, "  \"total_engine_iterations\": {total_iters},");
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"wall_ms\": {}", self.wall.as_millis());
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes `<dir>/<name>.json`, `<dir>/<name>.csv` and
+    /// `<dir>/BENCH_campaign.json`, creating `dir` if needed; returns the
+    /// three paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_files(&self, dir: &Path) -> io::Result<CampaignArtifacts> {
+        std::fs::create_dir_all(dir)?;
+        let artifacts = CampaignArtifacts {
+            json: dir.join(format!("{}.json", self.name)),
+            csv: dir.join(format!("{}.csv", self.name)),
+            trajectory: dir.join("BENCH_campaign.json"),
+        };
+        std::fs::write(&artifacts.json, self.to_json())?;
+        std::fs::write(&artifacts.csv, self.to_csv())?;
+        std::fs::write(&artifacts.trajectory, self.trajectory_json())?;
+        Ok(artifacts)
+    }
+}
+
+/// Where [`CampaignReport::write_files`] put its three artifacts.
+#[derive(Clone, Debug)]
+pub struct CampaignArtifacts {
+    /// The deterministic per-record JSON report.
+    pub json: PathBuf,
+    /// The deterministic per-record CSV report.
+    pub csv: PathBuf,
+    /// The `BENCH_campaign.json` trajectory summary.
+    pub trajectory: PathBuf,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Matrix;
+    use crate::runner::run_campaign;
+    use nochatter_graph::generators::Family;
+
+    fn tiny_report() -> CampaignReport {
+        run_campaign(
+            &Matrix {
+                families: vec![Family::Path],
+                sizes: vec![4],
+                teams: vec![vec![2, 3]],
+                ..Matrix::new()
+            }
+            .campaign("tiny", 3)
+            .unwrap(),
+            1,
+        )
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let json = tiny_report().to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"campaign\": \"tiny\""));
+        assert!(json.contains("\"scenario_count\": 1"));
+        assert!(json.contains("\"status\": \"gathered\""));
+        assert!(json.contains("\"trace_digest\": \"0x"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_record() {
+        let report = tiny_report();
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + report.records.len());
+        assert!(csv.lines().nth(1).unwrap().contains("path"));
+    }
+
+    #[test]
+    fn trajectory_includes_execution_facts() {
+        let t = tiny_report().trajectory_json();
+        assert!(t.contains("\"workers\": 1"));
+        assert!(t.contains("\"wall_ms\""));
+        assert!(t.contains("\"families\": [\"path\"]"));
+    }
+
+    #[test]
+    fn write_files_round_trips() {
+        // No tempdir crate offline; the OS temp dir is fine for a unit test.
+        let dir = std::env::temp_dir().join("nochatter-lab-report-test");
+        let report = tiny_report();
+        let artifacts = report.write_files(&dir).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(artifacts.json).unwrap(),
+            report.to_json()
+        );
+        assert_eq!(
+            std::fs::read_to_string(artifacts.csv).unwrap(),
+            report.to_csv()
+        );
+        assert!(artifacts.trajectory.ends_with("BENCH_campaign.json"));
+    }
+
+    #[test]
+    fn escaping_helpers() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,335 @@
+//! Sharded, deterministic campaign execution.
+//!
+//! A campaign's scenarios are independent, so they shard trivially across a
+//! [`std::thread`] worker pool pulling indices from an atomic cursor. Each
+//! worker writes its [`RunRecord`] into the slot of its scenario — records
+//! end up in key order regardless of which worker ran what, which is why a
+//! 1-worker run and an 8-worker run produce byte-identical reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use nochatter_core::unknown::{run_unknown, SliceEnumeration};
+use nochatter_core::{harness, KnownSetup};
+use nochatter_sim::RunOutcome;
+
+use crate::campaign::{Campaign, Scenario, ScenarioKind};
+use crate::record::{trace_digest, RunRecord};
+use crate::report::CampaignReport;
+
+/// Event-trace capacity per scenario: enough for every small-network run
+/// the campaigns sweep; longer runs digest a deterministic prefix plus the
+/// dropped-event count.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// The number of workers [`run_campaign`] uses when the caller passes 0:
+/// the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs every scenario of `campaign` on `workers` threads (0 = one per
+/// available core) and collects the records in scenario-key order.
+///
+/// The report is bit-for-bit identical for any worker count: scenarios are
+/// deterministic given their derived seed, and collection order is the
+/// campaign's key order, not completion order.
+pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    }
+    .min(campaign.len().max(1));
+    let start = Instant::now();
+    let scenarios = campaign.scenarios();
+    let records: Vec<RunRecord> = if workers <= 1 {
+        scenarios.iter().map(execute_scenario).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; scenarios.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(index) else {
+                        break;
+                    };
+                    let record = execute_scenario(scenario);
+                    slots.lock().expect("worker panicked")[index] = Some(record);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("worker panicked")
+            .into_iter()
+            .map(|slot| slot.expect("every scenario produces a record"))
+            .collect()
+    };
+    CampaignReport {
+        name: campaign.name().to_string(),
+        seed: campaign.seed(),
+        records,
+        workers,
+        wall: start.elapsed(),
+    }
+}
+
+/// Executes one scenario and measures it into a [`RunRecord`]. Never
+/// panics on algorithm failure: engine errors and validation failures are
+/// recorded in the `status` field.
+pub fn execute_scenario(scenario: &Scenario) -> RunRecord {
+    let mut record = RunRecord {
+        key: scenario.key.clone(),
+        seed: scenario.seed,
+        n_actual: scenario.cfg.size() as u32,
+        ok: false,
+        status: String::new(),
+        rounds: 0,
+        moves: 0,
+        engine_iterations: 0,
+        skipped_rounds: 0,
+        max_colocation: 0,
+        leader: None,
+        node: None,
+        size: None,
+        trace_digest: None,
+    };
+    let outcome = match &scenario.kind {
+        ScenarioKind::Gather => harness::run_scenario(
+            &scenario.cfg,
+            scenario.mode,
+            scenario.schedule.clone(),
+            scenario.seed,
+            Some(TRACE_CAPACITY),
+        ),
+        ScenarioKind::Gossip(scheme) => {
+            let setup = KnownSetup::for_configuration(
+                &scenario.cfg,
+                scenario.cfg.size() as u32,
+                scenario.seed,
+            );
+            let messages = scheme.payloads(&scenario.cfg);
+            match harness::run_gossip_outcome(
+                &scenario.cfg,
+                &setup,
+                scenario.mode,
+                &messages,
+                scenario.schedule.clone(),
+            ) {
+                Ok((outcome, reports)) => {
+                    let mut expected: Vec<_> = messages.iter().map(|(_, m)| m.clone()).collect();
+                    expected.sort();
+                    let decoded_ok = reports.iter().all(|(_, rep)| {
+                        let mut got = Vec::new();
+                        for (payload, multiplicity) in rep.outcome.decoded() {
+                            for _ in 0..multiplicity {
+                                got.push(payload.clone());
+                            }
+                        }
+                        got.sort();
+                        got == expected
+                    });
+                    if !decoded_ok {
+                        record.status = "gossip mismatch".into();
+                        fill_outcome(&mut record, &outcome);
+                        return record;
+                    }
+                    Ok(outcome)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        ScenarioKind::Unknown { decoys, est_mode } => {
+            // The unknown-bound algorithm exists only in the weak model
+            // (and consumes no seed: its schedule is fully determined by
+            // the enumeration). Reject a talking-mode cell loudly instead
+            // of running the silent algorithm under a mislabeled key.
+            if scenario.mode != nochatter_core::CommMode::Silent {
+                record.status = "unsupported: unknown variant has no talking baseline".into();
+                return record;
+            }
+            let mut omega = decoys.clone();
+            omega.push(scenario.cfg.clone());
+            run_unknown(
+                &scenario.cfg,
+                SliceEnumeration::new(omega),
+                *est_mode,
+                scenario.schedule.clone(),
+            )
+            .map(|(outcome, _)| outcome)
+        }
+    };
+    match outcome {
+        Ok(outcome) => {
+            fill_outcome(&mut record, &outcome);
+            match outcome.gathering() {
+                Ok(report) => {
+                    // All three variants elect a leader on success; a
+                    // unanimous `None` is agreement in the engine's eyes
+                    // but a protocol regression in ours.
+                    match report.leader {
+                        None => record.status = "no leader elected".into(),
+                        Some(l) if !scenario.cfg.contains_label(l) => {
+                            record.status = format!("phantom leader {l}");
+                        }
+                        Some(_) => {
+                            record.ok = true;
+                            record.status = "gathered".into();
+                            record.rounds = report.round;
+                        }
+                    }
+                    record.leader = report.leader.map(|l| l.value());
+                    record.node = Some(report.node.index() as u32);
+                    record.size = report.size;
+                }
+                Err(e) => record.status = e.to_string(),
+            }
+        }
+        Err(e) => record.status = format!("engine error: {e}"),
+    }
+    record
+}
+
+fn fill_outcome(record: &mut RunRecord, outcome: &RunOutcome) {
+    record.rounds = outcome.rounds;
+    record.moves = outcome.total_moves;
+    record.engine_iterations = outcome.engine_iterations;
+    record.skipped_rounds = outcome.skipped_rounds;
+    record.max_colocation = outcome.max_colocation;
+    record.trace_digest = outcome.trace.as_ref().map(trace_digest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Matrix;
+    use nochatter_core::CommMode;
+    use nochatter_graph::generators::Family;
+    use nochatter_sim::WakeSchedule;
+
+    fn campaign() -> Campaign {
+        Matrix {
+            families: vec![Family::Ring, Family::Star],
+            sizes: vec![4, 5],
+            teams: vec![vec![2, 3]],
+            schedules: vec![WakeSchedule::Simultaneous, WakeSchedule::FirstOnly],
+            modes: vec![CommMode::Silent, CommMode::Talking],
+            ..Matrix::new()
+        }
+        .campaign("runner-test", 11)
+        .unwrap()
+    }
+
+    #[test]
+    fn all_scenarios_gather() {
+        let report = run_campaign(&campaign(), 1);
+        assert_eq!(report.records.len(), 16);
+        for r in &report.records {
+            assert!(r.ok, "{} failed: {}", r.key, r.status);
+            assert_eq!(r.status, "gathered");
+            assert!(r.trace_digest.is_some());
+            assert!(r.leader.is_some());
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree_bit_for_bit() {
+        let c = campaign();
+        let one = run_campaign(&c, 1);
+        let four = run_campaign(&c, 4);
+        assert_eq!(one.records, four.records);
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.to_csv(), four.to_csv());
+    }
+
+    #[test]
+    fn silent_is_never_faster_than_talking() {
+        // Holds on these specific cells (rings/stars at n=4..5, where the
+        // silent and talking executions stay phase-aligned); NOT a general
+        // theorem — see tests/differential.rs at the workspace root for
+        // the honest aggregate statement.
+        let report = run_campaign(&campaign(), 2);
+        let pairs = report.mode_pairs("silent", "talking");
+        assert!(!pairs.is_empty());
+        for (silent, talking) in pairs {
+            assert!(
+                silent.rounds >= talking.rounds,
+                "{}: silent {} < talking {}",
+                silent.key,
+                silent.rounds,
+                talking.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn talking_mode_unknown_is_rejected_not_mislabeled() {
+        use crate::campaign::{spread, Scenario, ScenarioKind};
+        use crate::record::ScenarioKey;
+        use nochatter_core::unknown::EstMode;
+        use nochatter_graph::generators;
+
+        let scenario = Scenario {
+            key: ScenarioKey {
+                family: "ring3".into(),
+                n: 3,
+                team: vec![1, 2],
+                wake: "simul".into(),
+                mode: "talking".into(),
+                variant: "unknown@1".into(),
+                rep: 0,
+            },
+            cfg: spread(generators::ring(3), &[1, 2]).unwrap(),
+            mode: CommMode::Talking,
+            schedule: WakeSchedule::Simultaneous,
+            kind: ScenarioKind::Unknown {
+                decoys: vec![],
+                est_mode: EstMode::Conservative,
+            },
+            seed: 1,
+        };
+        let record = execute_scenario(&scenario);
+        assert!(!record.ok);
+        assert!(record.status.contains("unsupported"), "{}", record.status);
+    }
+
+    #[test]
+    fn unknown_scenarios_run_through_the_pool() {
+        use crate::campaign::{scenario_seed, spread, Scenario, ScenarioKind};
+        use crate::record::ScenarioKey;
+        use nochatter_core::unknown::EstMode;
+        use nochatter_graph::generators;
+
+        let truth = spread(generators::ring(3), &[1, 2]).unwrap();
+        let decoy = spread(generators::path(2), &[3, 4]).unwrap();
+        let key = ScenarioKey {
+            family: "ring3".into(),
+            n: 3,
+            team: vec![1, 2],
+            wake: "simul".into(),
+            mode: "silent".into(),
+            variant: "unknown@2".into(),
+            rep: 0,
+        };
+        let scenario = Scenario {
+            seed: scenario_seed(1, &key),
+            key,
+            cfg: truth,
+            mode: CommMode::Silent,
+            schedule: WakeSchedule::Simultaneous,
+            kind: ScenarioKind::Unknown {
+                decoys: vec![decoy],
+                est_mode: EstMode::Conservative,
+            },
+        };
+        let c = Campaign::from_scenarios("unknown-test", 1, vec![scenario]).unwrap();
+        let report = run_campaign(&c, 2);
+        let r = &report.records[0];
+        assert!(r.ok, "{}", r.status);
+        assert_eq!(r.size, Some(3), "must learn the exact size");
+        assert_eq!(r.leader, Some(1));
+    }
+}

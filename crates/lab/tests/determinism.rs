@@ -1,0 +1,103 @@
+//! Campaign-level determinism: a campaign run with 1 worker equals the
+//! same campaign with N workers, byte for byte, over randomly drawn
+//! campaign specifications.
+
+use proptest::prelude::*;
+
+use nochatter_core::CommMode;
+use nochatter_graph::generators::Family;
+use nochatter_lab::{run_campaign, Campaign, Matrix, PayloadScheme, ScenarioKind};
+use nochatter_sim::WakeSchedule;
+
+fn matrix_strategy() -> impl Strategy<Value = (Matrix, u64)> {
+    (
+        (
+            proptest::collection::vec(0usize..6, 1..3),
+            proptest::collection::vec(4u32..7, 1..3),
+        ),
+        0u64..3,
+        any::<bool>(),
+        any::<bool>(),
+        1u64..3,
+        any::<u64>(),
+    )
+        .prop_map(|((families, sizes), sched, talking, gossip, reps, seed)| {
+            let all = [
+                Family::Ring,
+                Family::Path,
+                Family::Star,
+                Family::Grid,
+                Family::RandomTree,
+                Family::RandomConnected,
+            ];
+            let mut fams: Vec<Family> = families.iter().map(|&i| all[i]).collect();
+            fams.sort_by_key(|f| f.name());
+            fams.dedup();
+            let mut sizes = sizes;
+            sizes.sort_unstable();
+            sizes.dedup();
+            let schedules = match sched {
+                0 => vec![WakeSchedule::Simultaneous],
+                1 => vec![WakeSchedule::FirstOnly],
+                _ => vec![
+                    WakeSchedule::Simultaneous,
+                    WakeSchedule::Staggered { gap: 4 },
+                ],
+            };
+            let modes = if talking {
+                vec![CommMode::Silent, CommMode::Talking]
+            } else {
+                vec![CommMode::Silent]
+            };
+            let kinds = if gossip {
+                vec![
+                    ScenarioKind::Gather,
+                    ScenarioKind::Gossip(PayloadScheme::Uniform { len: 2 }),
+                ]
+            } else {
+                vec![ScenarioKind::Gather]
+            };
+            (
+                Matrix {
+                    families: fams,
+                    sizes,
+                    teams: vec![vec![2, 3]],
+                    schedules,
+                    modes,
+                    kinds,
+                    reps,
+                    shuffled_ports: false,
+                },
+                seed,
+            )
+        })
+}
+
+fn build(matrix: &Matrix, seed: u64) -> Campaign {
+    matrix
+        .campaign("prop", seed)
+        .expect("drawn matrices are well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn one_worker_equals_many((matrix, seed) in matrix_strategy()) {
+        let campaign = build(&matrix, seed);
+        let one = run_campaign(&campaign, 1);
+        let many = run_campaign(&campaign, 5);
+        prop_assert_eq!(&one.records, &many.records);
+        prop_assert_eq!(one.to_json(), many.to_json());
+        prop_assert_eq!(one.to_csv(), many.to_csv());
+    }
+
+    #[test]
+    fn rebuilding_the_campaign_changes_nothing((matrix, seed) in matrix_strategy()) {
+        // The spec is the source of truth: expanding the same matrix twice
+        // and running on different worker counts still agrees.
+        let a = run_campaign(&build(&matrix, seed), 3);
+        let b = run_campaign(&build(&matrix, seed), 2);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -1,0 +1,30 @@
+//! The CI smoke campaign against its checked-in golden report.
+//!
+//! CI runs the same campaign through the `experiments -- campaign --smoke`
+//! CLI and diffs the file; this test enforces the identical contract from
+//! inside the test suite, so a drift is caught by `cargo test` before it
+//! ever reaches CI.
+
+use nochatter_lab::{presets, run_campaign};
+
+const GOLDEN: &str = include_str!("../golden/campaign_smoke.json");
+
+#[test]
+fn smoke_campaign_matches_golden_json() {
+    let report = run_campaign(&presets::smoke_campaign(), 4);
+    let got = report.to_json();
+    assert_eq!(
+        got, GOLDEN,
+        "smoke campaign drifted from crates/lab/golden/campaign_smoke.json; \
+         if the change is intentional, regenerate the golden file with \
+         `cargo run -p nochatter-bench --release --bin experiments -- \
+         campaign --smoke --out <dir>` and copy <dir>/smoke.json over it"
+    );
+}
+
+#[test]
+fn smoke_campaign_is_all_ok() {
+    let report = run_campaign(&presets::smoke_campaign(), 2);
+    assert_eq!(report.ok_count(), report.records.len());
+    assert_eq!(report.records.len(), 8);
+}

@@ -1,55 +1,57 @@
-//! The price of silence: the paper's weak model vs. the traditional one.
+//! The price of silence: the paper's weak model vs. the traditional one,
+//! measured as a scenario campaign.
 //!
-//! Runs the same gathering instance twice — once in the weak model (agents
-//! sense only `CurCard` and communicate by movement) and once in the
-//! traditional model (co-located agents exchange labels instantly) — and
-//! reports how many rounds the silence costs. The only difference between
-//! the two runs is whether the `Communicate` step of each phase is
-//! movement-encoded (`5i·T(EXPLO(N))` rounds) or free.
+//! Declares a small campaign matrix — three topologies × two sizes, each
+//! instance run once in the weak model (agents sense only `CurCard` and
+//! communicate by movement) and once in the traditional model (co-located
+//! agents exchange labels instantly) — executes it on a worker pool, and
+//! reports how many rounds the silence costs per cell. The only difference
+//! between the paired runs is whether the `Communicate` step of each phase
+//! is movement-encoded (`5i·T(EXPLO(N))` rounds) or free.
 //!
 //! Run with: `cargo run --release --example silent_vs_talking`
 
-use nochatter::core::{harness, CommMode, KnownSetup};
-use nochatter::graph::{generators, InitialConfiguration, Label, NodeId};
+use nochatter::core::CommMode;
+use nochatter::graph::generators::Family;
 use nochatter::sim::WakeSchedule;
+use nochatter_lab::{run_campaign, Matrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let label = |v: u64| Label::new(v).ok_or("labels are positive");
+    let campaign = Matrix {
+        families: vec![Family::Ring, Family::Grid, Family::Star],
+        sizes: vec![6, 9],
+        teams: vec![vec![3, 5, 7]],
+        schedules: vec![WakeSchedule::Simultaneous],
+        modes: vec![CommMode::Silent, CommMode::Talking],
+        ..Matrix::new()
+    }
+    .campaign("silent-vs-talking", 1)?;
+    let report = run_campaign(&campaign, 0);
+
     println!(
-        "{:<8} {:>6} {:>14} {:>14} {:>8}",
-        "graph", "agents", "silent", "talking", "ratio"
+        "{:<8} {:>4} {:>14} {:>14} {:>8}",
+        "family", "n", "silent", "talking", "ratio"
     );
-
-    for (name, graph, starts) in [
-        ("ring6", generators::ring(6), vec![0u32, 2, 4]),
-        ("grid3x3", generators::grid(3, 3), vec![0, 4, 8]),
-        ("star7", generators::star(7), vec![1, 3, 5]),
-    ] {
-        let agents: Vec<(Label, NodeId)> = starts
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| Ok::<_, &str>((label(3 + 2 * i as u64)?, NodeId::new(v))))
-            .collect::<Result<_, _>>()?;
-        let cfg = InitialConfiguration::new(graph, agents)?;
-        let setup = KnownSetup::for_configuration(&cfg, 10, 1);
-
-        let mut rounds = Vec::new();
-        for mode in [CommMode::Silent, CommMode::Talking] {
-            let outcome = harness::run_known(&cfg, &setup, mode, WakeSchedule::Simultaneous)?;
-            let report = outcome.gathering()?;
-            rounds.push(report.round);
-        }
+    for (silent, talking) in report.mode_pairs("silent", "talking") {
+        assert!(silent.ok && talking.ok, "every cell must gather");
         println!(
-            "{:<8} {:>6} {:>14} {:>14} {:>7.2}x",
-            name,
-            starts.len(),
-            rounds[0],
-            rounds[1],
-            rounds[0] as f64 / rounds[1] as f64
+            "{:<8} {:>4} {:>14} {:>14} {:>7.2}x",
+            silent.key.family,
+            silent.n_actual,
+            silent.rounds,
+            talking.rounds,
+            silent.rounds as f64 / talking.rounds as f64
         );
     }
     println!();
-    println!("silence costs a constant factor — exactly the 5i·T Communicate");
-    println!("term the paper folds into its polynomial bound (Theorem 3.1).");
+    println!(
+        "{} scenarios on {} worker(s) in {:?}",
+        report.records.len(),
+        report.workers,
+        report.wall
+    );
+    println!("silence costs a constant factor per instance here — exactly the");
+    println!("5i·T Communicate term the paper folds into its polynomial bound");
+    println!("(Theorem 3.1); tests/differential.rs pins the envelope.");
     Ok(())
 }
