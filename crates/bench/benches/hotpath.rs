@@ -1,0 +1,351 @@
+//! Hot-path microbenchmarks: CSR graph traversal and the engine round
+//! loop, the two layers flattened by the simulation hot-path refactor.
+//!
+//! Besides the usual criterion report, running this bench writes the
+//! `BENCH_hotpath.json` trajectory artifact (override the path with
+//! `NOCHATTER_HOTPATH_OUT`): one JSON object per workload with its
+//! measured mean iteration time and unit rate. The committed copy at the
+//! workspace root is the perf trajectory — regenerate it with
+//! `cargo bench --bench hotpath` after hot-path work and commit the diff.
+//! CI runs the suite in `--test` mode (one tiny iteration per workload)
+//! and diffs the *schema* of the emitted file — ids, units and field
+//! names, never timings — so the artifact cannot silently rot.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
+
+use nochatter_graph::{algo, generators, Graph, Label, NodeId, Port};
+use nochatter_sim::proc::{ProcBehavior, Procedure};
+use nochatter_sim::{Action, Engine, EngineScratch, Obs, Poll, Sensing, WakeSchedule};
+
+fn label(v: u64) -> Label {
+    Label::new(v).unwrap()
+}
+
+/// Walks forever: out of each node by the port after the entry port, which
+/// varies the CSR row accessed every step.
+struct Walker;
+impl Procedure for Walker {
+    type Output = ();
+    fn poll(&mut self, obs: &Obs) -> Poll<()> {
+        let next = obs.entry_port.map_or(0, |p| (p.number() + 1) % obs.degree);
+        Poll::Yield(Action::TakePort(Port::new(next)))
+    }
+}
+
+/// A port-chasing walk of `steps` edge traversals — the pure CSR lookup
+/// chain with no engine around it. Returns the end node so the walk cannot
+/// be optimized away.
+fn csr_walk(g: &Graph, steps: u64) -> NodeId {
+    let mut cur = NodeId::new(0);
+    let mut port = Port::new(0);
+    for _ in 0..steps {
+        let (to, back) = g.neighbor(cur, port).expect("walk stays on valid ports");
+        cur = to;
+        port = Port::new((back.number() + 1) % g.degree(to));
+    }
+    cur
+}
+
+/// One engine run of `agents` walkers for `rounds` rounds on a ring,
+/// through the caller's scratch.
+fn engine_walk(g: &Graph, agents: u32, rounds: u64, sensing: Sensing, scratch: &mut EngineScratch) {
+    let n = g.node_count() as u32;
+    let mut engine = Engine::new(g);
+    engine.set_sensing(sensing);
+    for i in 0..agents {
+        engine.add_agent(
+            label(u64::from(i) + 1),
+            NodeId::new(i * (n / agents) % n),
+            Box::new(ProcBehavior::declaring(Walker)),
+        );
+    }
+    engine.set_wake_schedule(WakeSchedule::Simultaneous);
+    black_box(engine.run_with_scratch(rounds, scratch).unwrap());
+}
+
+/// Workload sizes: full measurement vs the one-iteration `--test` mode CI
+/// uses for the schema check.
+struct Scale {
+    csr_steps: u64,
+    bfs_n: u32,
+    engine_rounds: u64,
+    short_runs: u64,
+    iters: u64,
+}
+
+const FULL: Scale = Scale {
+    csr_steps: 1_000_000,
+    bfs_n: 1024,
+    engine_rounds: 100_000,
+    short_runs: 256,
+    iters: 10,
+};
+
+const QUICK: Scale = Scale {
+    csr_steps: 10_000,
+    bfs_n: 64,
+    engine_rounds: 1_000,
+    short_runs: 8,
+    iters: 1,
+};
+
+fn scale() -> &'static Scale {
+    if std::env::args().any(|a| a == "--test") {
+        &QUICK
+    } else {
+        &FULL
+    }
+}
+
+fn traversal_graph(n: u32) -> Graph {
+    generators::random_connected(n, n, 7)
+}
+
+/// CSR traversal cost without the engine: chained `neighbor` lookups and a
+/// whole-graph BFS.
+fn csr_traversal(c: &mut Criterion) {
+    let s = scale();
+    let g = traversal_graph(s.bfs_n);
+    let mut group = c.benchmark_group("csr");
+    group.throughput(Throughput::Elements(s.csr_steps));
+    group.bench_with_input(
+        BenchmarkId::new("neighbor_walk", s.bfs_n),
+        &g,
+        |b, g: &Graph| b.iter(|| csr_walk(g, s.csr_steps)),
+    );
+    group.throughput(Throughput::Elements(u64::from(s.bfs_n)));
+    group.bench_with_input(BenchmarkId::new("bfs", s.bfs_n), &g, |b, g: &Graph| {
+        b.iter(|| algo::bfs_distances(g, NodeId::new(0)))
+    });
+    group.finish();
+}
+
+/// The engine round loop: long runs (per-round cost), short runs through a
+/// reused scratch (steady-state allocation-free execution), and the
+/// traditional-sensing variant (peer-label scratch buffer).
+fn round_loop(c: &mut Criterion) {
+    let s = scale();
+    let g = generators::ring(32);
+    let mut group = c.benchmark_group("round_loop");
+    for agents in [2u32, 8, 16] {
+        group.throughput(Throughput::Elements(s.engine_rounds * u64::from(agents)));
+        group.bench_with_input(
+            BenchmarkId::new("walkers", agents),
+            &agents,
+            |b, &agents| {
+                let mut scratch = EngineScratch::new();
+                b.iter(|| engine_walk(&g, agents, s.engine_rounds, Sensing::Weak, &mut scratch))
+            },
+        );
+    }
+    group.throughput(Throughput::Elements(s.engine_rounds * 8));
+    group.bench_function("walkers_traditional/8", |b| {
+        let mut scratch = EngineScratch::new();
+        b.iter(|| engine_walk(&g, 8, s.engine_rounds, Sensing::Traditional, &mut scratch))
+    });
+    // Many short runs: the regime where per-run allocations dominated
+    // before `run_with_scratch` existed.
+    group.throughput(Throughput::Elements(s.short_runs));
+    group.bench_function("short_runs_scratch_reuse", |b| {
+        let mut scratch = EngineScratch::new();
+        b.iter(|| {
+            for _ in 0..s.short_runs {
+                engine_walk(&g, 8, 64, Sensing::Weak, &mut scratch);
+            }
+        })
+    });
+    group.bench_function("short_runs_fresh_alloc", |b| {
+        b.iter(|| {
+            for _ in 0..s.short_runs {
+                engine_walk(&g, 8, 64, Sensing::Weak, &mut EngineScratch::new());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// One measured trajectory entry of `BENCH_hotpath.json`.
+struct Entry {
+    /// Stable workload name — identical in quick and full mode, so the CI
+    /// schema diff can compare a quick run against the committed full run.
+    id: &'static str,
+    /// The mode-dependent size knob (graph size, rounds, runs).
+    param: u64,
+    unit: &'static str,
+    units_per_iter: u64,
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Entry {
+    fn mean_ns(&self) -> u128 {
+        self.total_ns / u128::from(self.iters.max(1))
+    }
+
+    fn units_per_sec(&self) -> f64 {
+        let total = (self.units_per_iter * self.iters) as f64;
+        total / (self.total_ns.max(1) as f64 / 1e9)
+    }
+}
+
+fn measure(
+    id: &'static str,
+    param: u64,
+    unit: &'static str,
+    units_per_iter: u64,
+    iters: u64,
+    mut routine: impl FnMut(),
+) -> Entry {
+    // One warm-up iteration, then a single timed block — the trajectory
+    // wants a stable order-of-magnitude point, not criterion statistics.
+    routine();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        routine();
+    }
+    Entry {
+        id,
+        param,
+        unit,
+        units_per_iter,
+        iters,
+        total_ns: t0.elapsed().as_nanos(),
+    }
+}
+
+/// Measures the fixed trajectory workloads and writes
+/// `BENCH_hotpath.json` (path from `NOCHATTER_HOTPATH_OUT` if set).
+fn emit_trajectory(quick: bool) {
+    let s = scale();
+    let g = traversal_graph(s.bfs_n);
+    let ring = generators::ring(32);
+    let mut scratch = EngineScratch::new();
+    let entries = [
+        measure(
+            "csr/neighbor_walk",
+            u64::from(s.bfs_n),
+            "steps",
+            s.csr_steps,
+            s.iters,
+            || {
+                black_box(csr_walk(&g, s.csr_steps));
+            },
+        ),
+        measure(
+            "csr/bfs",
+            u64::from(s.bfs_n),
+            "nodes",
+            u64::from(s.bfs_n),
+            s.iters,
+            || {
+                black_box(algo::bfs_distances(&g, NodeId::new(0)));
+            },
+        ),
+        measure(
+            "round_loop/walkers/a8",
+            s.engine_rounds,
+            "agent_rounds",
+            s.engine_rounds * 8,
+            s.iters,
+            || engine_walk(&ring, 8, s.engine_rounds, Sensing::Weak, &mut scratch),
+        ),
+        measure(
+            "round_loop/walkers_traditional/a8",
+            s.engine_rounds,
+            "agent_rounds",
+            s.engine_rounds * 8,
+            s.iters,
+            || {
+                engine_walk(
+                    &ring,
+                    8,
+                    s.engine_rounds,
+                    Sensing::Traditional,
+                    &mut scratch,
+                )
+            },
+        ),
+        measure(
+            "round_loop/short_runs_scratch_reuse",
+            s.short_runs,
+            "runs",
+            s.short_runs,
+            s.iters,
+            || {
+                for _ in 0..s.short_runs {
+                    engine_walk(&ring, 8, 64, Sensing::Weak, &mut scratch);
+                }
+            },
+        ),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"param\": {}, \"unit\": \"{}\", \
+             \"units_per_iter\": {}, \"iters\": {}, \"mean_ns\": {}, \
+             \"units_per_sec\": {:.1}}}{comma}",
+            e.id,
+            e.param,
+            e.unit,
+            e.units_per_iter,
+            e.iters,
+            e.mean_ns(),
+            e.units_per_sec(),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    // Cargo runs bench binaries from the package directory, so resolve
+    // the default and any relative `NOCHATTER_HOTPATH_OUT` override
+    // against the workspace root. Quick mode defaults under `target/`:
+    // a stray `cargo test --benches` must not clobber the committed
+    // full-mode trajectory with one-iteration numbers.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let default = if quick {
+        "target/BENCH_hotpath.json"
+    } else {
+        "BENCH_hotpath.json"
+    };
+    let path = std::env::var_os("NOCHATTER_HOTPATH_OUT")
+        .map_or_else(|| default.into(), std::path::PathBuf::from);
+    let path = if path.is_absolute() {
+        path
+    } else {
+        root.join(path)
+    };
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    // Each iteration is a full walk or simulation; bound the sampling.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = csr_traversal, round_loop
+}
+
+fn main() {
+    // Mirror `criterion_main!`, plus trajectory emission: cargo's bench
+    // runner passes flags like `--bench`; `--test` (from `cargo test
+    // --benches` or the CI schema step) switches to one tiny iteration
+    // per workload.
+    let quick = std::env::args().any(|a| a == "--test");
+    if quick {
+        criterion::set_test_mode(true);
+    }
+    benches();
+    emit_trajectory(quick);
+}

@@ -100,6 +100,12 @@ fn run_campaign_cli(args: &[String]) -> ExitCode {
         report.workers
     );
     eprintln!(
+        "throughput: {:.0} scenarios/s, {:.3e} rounds/s ({:.3e} engine iterations/s)",
+        report.scenarios_per_sec(),
+        report.rounds_per_sec(),
+        report.engine_iterations_per_sec()
+    );
+    eprintln!(
         "wrote {}, {}, {}",
         artifacts.json.display(),
         artifacts.csv.display(),

@@ -399,6 +399,9 @@ pub struct GossipUnknownUpperBound {
 }
 
 #[derive(Debug)]
+// One instance per agent behavior, never stored in bulk: the size skew
+// between the stages is irrelevant, boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 enum UnknownComposedStage {
     Gather(crate::unknown::GatherUnknownUpperBound),
     Chat(crate::unknown::UnknownReport, Gossip),

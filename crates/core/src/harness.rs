@@ -4,7 +4,7 @@
 use std::sync::{Arc, Mutex};
 
 use nochatter_graph::{InitialConfiguration, Label};
-use nochatter_sim::{Engine, RunOutcome, Sensing, SimError, WakeSchedule};
+use nochatter_sim::{Engine, EngineScratch, RunOutcome, Sensing, SimError, WakeSchedule};
 
 use crate::codec::BitStr;
 use crate::gossip::{GossipKnownUpperBound, GossipReport};
@@ -75,6 +75,31 @@ pub fn run_known_traced(
     schedule: WakeSchedule,
     trace_capacity: Option<usize>,
 ) -> Result<RunOutcome, SimError> {
+    run_known_traced_with_scratch(
+        cfg,
+        setup,
+        mode,
+        schedule,
+        trace_capacity,
+        &mut EngineScratch::new(),
+    )
+}
+
+/// [`run_known_traced`] against caller-owned engine working memory, so a
+/// loop over many runs allocates nothing in steady state. Identical
+/// outcomes, bit for bit.
+///
+/// # Errors
+///
+/// Propagates engine setup or protocol errors.
+pub fn run_known_traced_with_scratch(
+    cfg: &InitialConfiguration,
+    setup: &KnownSetup,
+    mode: CommMode,
+    schedule: WakeSchedule,
+    trace_capacity: Option<usize>,
+    scratch: &mut EngineScratch,
+) -> Result<RunOutcome, SimError> {
     let mut engine = Engine::new(cfg.graph());
     engine.set_sensing(sensing_for(mode));
     if let Some(capacity) = trace_capacity {
@@ -91,7 +116,7 @@ pub fn run_known_traced(
     }
     engine.set_wake_schedule(schedule);
     let limit = setup.params.round_limit(cfg.smallest_label_bit_len());
-    engine.run(limit)
+    engine.run_with_scratch(limit, scratch)
 }
 
 /// The single entry point every scenario-style consumer (the bench tables,
@@ -139,8 +164,73 @@ pub fn run_scenario(
     seed: u64,
     trace_capacity: Option<usize>,
 ) -> Result<RunOutcome, SimError> {
+    run_scenario_with_scratch(
+        cfg,
+        mode,
+        schedule,
+        seed,
+        trace_capacity,
+        &mut EngineScratch::new(),
+    )
+}
+
+/// [`run_scenario`] against caller-owned engine working memory: the
+/// buffers behind occupancy tracking and observations are reused instead
+/// of reallocated, which is what the campaign runner threads through each
+/// of its workers. Identical outcomes, bit for bit.
+///
+/// # Errors
+///
+/// Propagates engine setup or protocol errors.
+pub fn run_scenario_with_scratch(
+    cfg: &InitialConfiguration,
+    mode: CommMode,
+    schedule: WakeSchedule,
+    seed: u64,
+    trace_capacity: Option<usize>,
+    scratch: &mut EngineScratch,
+) -> Result<RunOutcome, SimError> {
     let setup = KnownSetup::for_configuration(cfg, cfg.size() as u32, seed);
-    run_known_traced(cfg, &setup, mode, schedule, trace_capacity)
+    run_known_traced_with_scratch(cfg, &setup, mode, schedule, trace_capacity, scratch)
+}
+
+/// One known-upper-bound gathering scenario of a [`run_scenario_batch`]
+/// call: the argument tuple of [`run_scenario`], minus the configuration
+/// borrow's lifetime plumbing.
+#[derive(Clone, Debug)]
+pub struct GatherScenario<'a> {
+    /// The initial configuration to run.
+    pub cfg: &'a InitialConfiguration,
+    /// Silent (weak sensing) or talking (traditional sensing).
+    pub mode: CommMode,
+    /// The adversary's wake schedule.
+    pub schedule: WakeSchedule,
+    /// Seed of the exploration-sequence stream.
+    pub seed: u64,
+    /// Event-trace capacity, if a trace is wanted.
+    pub trace_capacity: Option<usize>,
+}
+
+/// Runs a batch of gathering scenarios back to back, threading one
+/// [`EngineScratch`] through every run so the whole batch performs no
+/// per-run engine allocations in steady state. Each entry's outcome is
+/// bitwise identical to what [`run_scenario`] returns for the same
+/// arguments; an engine error in one scenario does not abort the rest.
+pub fn run_scenario_batch(batch: &[GatherScenario<'_>]) -> Vec<Result<RunOutcome, SimError>> {
+    let mut scratch = EngineScratch::new();
+    batch
+        .iter()
+        .map(|s| {
+            run_scenario_with_scratch(
+                s.cfg,
+                s.mode,
+                s.schedule.clone(),
+                s.seed,
+                s.trace_capacity,
+                &mut scratch,
+            )
+        })
+        .collect()
 }
 
 /// Runs the composed gather-then-gossip algorithm and returns the outcome
@@ -315,4 +405,50 @@ pub fn run_gossip_unknown(
         })
         .collect();
     Ok((outcome, reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nochatter_graph::{generators, NodeId};
+
+    fn cfg(n: u32, starts: &[(u64, u32)]) -> InitialConfiguration {
+        InitialConfiguration::new(
+            generators::ring(n),
+            starts
+                .iter()
+                .map(|&(l, s)| (Label::new(l).unwrap(), NodeId::new(s)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_bitwise() {
+        let cfgs = [cfg(4, &[(2, 0), (3, 2)]), cfg(6, &[(2, 1), (5, 4)])];
+        // Alternate modes so the shared scratch crosses sensing models and
+        // graph sizes between consecutive runs.
+        let batch: Vec<GatherScenario<'_>> = cfgs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cfg)| {
+                [CommMode::Silent, CommMode::Talking].map(|mode| GatherScenario {
+                    cfg,
+                    mode,
+                    schedule: WakeSchedule::Simultaneous,
+                    seed: 7 + i as u64,
+                    trace_capacity: Some(1 << 12),
+                })
+            })
+            .collect();
+        let outcomes = run_scenario_batch(&batch);
+        assert_eq!(outcomes.len(), batch.len());
+        for (s, batched) in batch.iter().zip(&outcomes) {
+            let solo =
+                run_scenario(s.cfg, s.mode, s.schedule.clone(), s.seed, s.trace_capacity).unwrap();
+            let batched = batched.as_ref().unwrap();
+            assert_eq!(format!("{batched:?}"), format!("{solo:?}"));
+            assert!(batched.gathering().is_ok());
+        }
+    }
 }

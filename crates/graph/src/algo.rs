@@ -29,8 +29,7 @@ pub fn bfs_distances(graph: &Graph, from: NodeId) -> Vec<u32> {
     queue.push_back(from);
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
-        for p in 0..graph.degree(u) {
-            let (v, _) = graph.neighbor(u, Port::new(p)).expect("port within degree");
+        for (v, _) in graph.neighbors(u) {
             if dist[v.index()] == u32::MAX {
                 dist[v.index()] = du + 1;
                 queue.push_back(v);

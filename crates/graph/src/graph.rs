@@ -105,6 +105,15 @@ struct Endpoint {
 /// * port symmetry: if taking port `p` at `u` leads to `v` entering by `q`,
 ///   then taking port `q` at `v` leads back to `u` entering by `p`.
 ///
+/// # Representation
+///
+/// The adjacency is stored in CSR (compressed sparse row) form: one
+/// `offsets` array of length `n + 1` and one flat `endpoints` array of
+/// length `2m`. Node `u`'s incident edges, in port order, occupy
+/// `endpoints[offsets[u]..offsets[u + 1]]`, so `degree` is one subtraction
+/// and `neighbor` is one bounds-checked indexed load into a contiguous
+/// array — no per-node heap indirection on the simulation hot path.
+///
 /// # Example
 ///
 /// ```
@@ -124,18 +133,30 @@ struct Endpoint {
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<Endpoint>>,
+    /// CSR row starts: node `u`'s endpoints live at
+    /// `endpoints[offsets[u] as usize..offsets[u + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// All endpoints, concatenated in node order, port order within a node.
+    endpoints: Vec<Endpoint>,
 }
 
 impl Graph {
+    /// The slice of `node`'s endpoints, indexed by port number.
+    #[inline]
+    fn row(&self, node: NodeId) -> &[Endpoint] {
+        let lo = self.offsets[node.index()] as usize;
+        let hi = self.offsets[node.index() + 1] as usize;
+        &self.endpoints[lo..hi]
+    }
+
     /// The number of nodes `n` (the paper's "size of the graph").
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// The number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.endpoints.len() / 2
     }
 
     /// The degree of `node`.
@@ -143,13 +164,18 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
+    #[inline]
     pub fn degree(&self, node: NodeId) -> u32 {
-        self.adj[node.index()].len() as u32
+        self.offsets[node.index() + 1] - self.offsets[node.index()]
     }
 
     /// The largest degree in the graph.
     pub fn max_degree(&self) -> u32 {
-        self.adj.iter().map(|v| v.len() as u32).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// The node and entry port reached by taking `port` at `node`, or `None`
@@ -158,29 +184,39 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
+    #[inline]
     pub fn neighbor(&self, node: NodeId, port: Port) -> Option<(NodeId, Port)> {
-        self.adj[node.index()]
-            .get(port.index())
-            .map(|e| (e.to, e.back))
+        self.row(node).get(port.index()).map(|e| (e.to, e.back))
+    }
+
+    /// Iterates over `node`'s incident edges in port order, yielding the
+    /// reached node and its entry port — one contiguous CSR row scan,
+    /// cheaper than `neighbor` in a `0..degree` loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Port)> + '_ {
+        self.row(node).iter().map(|e| (e.to, e.back))
     }
 
     /// Iterates over all node identifiers.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId::new)
+        (0..self.node_count() as u32).map(NodeId::new)
     }
 
     /// Whether `node` is a valid node of this graph.
     pub fn contains(&self, node: NodeId) -> bool {
-        node.index() < self.adj.len()
+        node.index() < self.node_count()
     }
 }
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Graph(n={}):", self.node_count())?;
-        for (u, nbrs) in self.adj.iter().enumerate() {
-            write!(f, "  n{u}:")?;
-            for (p, e) in nbrs.iter().enumerate() {
+        for u in self.nodes() {
+            write!(f, "  n{}:", u.index())?;
+            for (p, e) in self.row(u).iter().enumerate() {
                 write!(f, " {p}->{}@{}", e.to, e.back)?;
             }
             writeln!(f)?;
@@ -258,12 +294,13 @@ impl GraphBuilder {
                 });
             }
         }
-        let mut adj = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut endpoints = Vec::with_capacity(2 * self.edges.len());
+        offsets.push(0);
         for (u, row) in slots.into_iter().enumerate() {
-            let mut full = Vec::with_capacity(row.len());
             for (p, slot) in row.into_iter().enumerate() {
                 match slot {
-                    Some(e) => full.push(e),
+                    Some(e) => endpoints.push(e),
                     None => {
                         return Err(GraphError::PortGap {
                             node: u as u32,
@@ -272,9 +309,9 @@ impl GraphBuilder {
                     }
                 }
             }
-            adj.push(full);
+            offsets.push(endpoints.len() as u32);
         }
-        let graph = Graph { adj };
+        let graph = Graph { offsets, endpoints };
         if !crate::algo::is_connected(&graph) {
             return Err(GraphError::Disconnected);
         }

@@ -1,0 +1,77 @@
+//! Property tests pinning the CSR adjacency layout: a validated [`Graph`]
+//! and an adjacency rebuilt from its own `neighbor` answers must agree on
+//! everything the public API exposes, for every generator family.
+
+use proptest::prelude::*;
+
+use nochatter_graph::generators::Family;
+use nochatter_graph::{Graph, GraphBuilder, NodeId, Port};
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (0usize..Family::all().len(), 3u32..14, any::<u64>()).prop_map(|(family, n, seed)| {
+        // `instantiate_shuffled` also exercises adversarial port
+        // renumbering, so CSR rows are not in any convenient order.
+        Family::all()[family].instantiate_shuffled(n, seed)
+    })
+}
+
+/// Every edge read back through the CSR API, as builder input.
+fn edges_via_api(g: &Graph) -> Vec<(u32, u32, u32, u32)> {
+    let mut edges = Vec::with_capacity(g.edge_count());
+    for u in g.nodes() {
+        for p in 0..g.degree(u) {
+            let (v, q) = g.neighbor(u, Port::new(p)).expect("port within degree");
+            if u.index() < v.index() {
+                edges.push((u.index() as u32, p, v.index() as u32, q.number()));
+            }
+        }
+    }
+    edges
+}
+
+proptest! {
+    /// CSR answers are internally consistent: port round-trips hold, the
+    /// degree sum is twice the edge count, ports beyond the degree are
+    /// `None`, and the `neighbors` row iterator agrees with per-port
+    /// `neighbor` lookups.
+    #[test]
+    fn csr_is_internally_consistent(g in graph_strategy()) {
+        let mut degree_sum = 0usize;
+        for u in g.nodes() {
+            let d = g.degree(u);
+            degree_sum += d as usize;
+            prop_assert!(d <= g.max_degree());
+            let row: Vec<(NodeId, Port)> = g.neighbors(u).collect();
+            prop_assert_eq!(row.len() as u32, d);
+            for p in 0..d {
+                let (v, q) = g.neighbor(u, Port::new(p)).expect("port within degree");
+                prop_assert_eq!(row[p as usize], (v, q));
+                prop_assert_ne!(v, u);
+                // Port symmetry: taking the entry port back returns here.
+                prop_assert_eq!(g.neighbor(v, q), Some((u, Port::new(p))));
+            }
+            prop_assert_eq!(g.neighbor(u, Port::new(d)), None);
+            prop_assert_eq!(g.neighbor(u, Port::new(d + 17)), None);
+        }
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    /// Rebuilding a graph from the edges the CSR reports yields an equal
+    /// graph: the flat layout loses nothing the builder put in.
+    #[test]
+    fn csr_round_trips_through_the_builder(g in graph_strategy()) {
+        let mut b = GraphBuilder::new(g.node_count() as u32);
+        for (u, pu, v, pv) in edges_via_api(&g) {
+            b.edge(u, pu, v, pv);
+        }
+        let rebuilt = b.build().expect("edges from a valid graph are valid");
+        prop_assert_eq!(&rebuilt, &g);
+        for u in g.nodes() {
+            prop_assert_eq!(rebuilt.degree(u), g.degree(u));
+            for p in 0..=g.degree(u) {
+                prop_assert_eq!(rebuilt.neighbor(u, Port::new(p)), g.neighbor(u, Port::new(p)));
+            }
+        }
+        prop_assert_eq!(format!("{rebuilt:?}"), format!("{g:?}"));
+    }
+}

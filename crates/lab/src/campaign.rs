@@ -357,28 +357,41 @@ impl Matrix {
                     if team.len() > n as usize {
                         continue; // the cell cannot host the team
                     }
-                    for schedule in &self.schedules {
-                        for &mode in &self.modes {
-                            for kind in &self.kinds {
-                                for rep in 0..self.reps {
-                                    let key = ScenarioKey {
-                                        family: family.name().into(),
-                                        n,
-                                        team: team.clone(),
-                                        wake: wake_name(schedule),
-                                        mode: mode_name(mode).into(),
-                                        variant: kind.variant_name(),
-                                        rep,
-                                    };
-                                    let seed = scenario_seed(campaign_seed, &key);
-                                    let graph = if self.shuffled_ports {
-                                        family.instantiate_shuffled(n, seed)
-                                    } else {
-                                        family.instantiate(n, seed)
-                                    };
+                    for rep in 0..self.reps {
+                        // The seed (and with it the instance) depends only
+                        // on the instance sub-key — family, size, team,
+                        // rep — so one configuration serves every
+                        // execution-axis cell instead of being regenerated
+                        // and revalidated per schedule × mode × variant.
+                        // `from_scenarios` sorts by key, so expansion
+                        // order is immaterial.
+                        let instance_key = ScenarioKey {
+                            family: family.name().into(),
+                            n,
+                            team: team.clone(),
+                            wake: String::new(),
+                            mode: String::new(),
+                            variant: String::new(),
+                            rep,
+                        };
+                        let seed = scenario_seed(campaign_seed, &instance_key);
+                        let graph = if self.shuffled_ports {
+                            family.instantiate_shuffled(n, seed)
+                        } else {
+                            family.instantiate(n, seed)
+                        };
+                        let cfg = spread(graph, team)?;
+                        for schedule in &self.schedules {
+                            for &mode in &self.modes {
+                                for kind in &self.kinds {
                                     scenarios.push(Scenario {
-                                        cfg: spread(graph, team)?,
-                                        key,
+                                        key: ScenarioKey {
+                                            wake: wake_name(schedule),
+                                            mode: mode_name(mode).into(),
+                                            variant: kind.variant_name(),
+                                            ..instance_key.clone()
+                                        },
+                                        cfg: cfg.clone(),
                                         mode,
                                         schedule: schedule.clone(),
                                         kind: kind.clone(),

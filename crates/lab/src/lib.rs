@@ -61,4 +61,4 @@ pub use campaign::{
 };
 pub use record::{trace_digest, RunRecord, ScenarioKey};
 pub use report::{CampaignArtifacts, CampaignReport};
-pub use runner::{default_workers, execute_scenario, run_campaign};
+pub use runner::{default_workers, execute_scenario, execute_scenario_with_scratch, run_campaign};

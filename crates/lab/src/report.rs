@@ -71,6 +71,31 @@ impl CampaignReport {
         self.records.iter().filter(|r| r.ok).count()
     }
 
+    /// Wall-clock seconds of the run, floored at one microsecond so the
+    /// throughput rates below stay finite on degenerate campaigns.
+    fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64().max(1e-6)
+    }
+
+    /// Executed scenarios per wall-clock second.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        self.records.len() as f64 / self.wall_secs()
+    }
+
+    /// Simulated engine rounds per wall-clock second (fast-forwarded rounds
+    /// included — this is the rate at which *model time* advances).
+    pub fn rounds_per_sec(&self) -> f64 {
+        let total: u64 = self.records.iter().map(|r| r.rounds).sum();
+        total as f64 / self.wall_secs()
+    }
+
+    /// Executed engine loop iterations per wall-clock second (fast-forward
+    /// excluded — this is the rate of actual hot-path work).
+    pub fn engine_iterations_per_sec(&self) -> f64 {
+        let total: u64 = self.records.iter().map(|r| r.engine_iterations).sum();
+        total as f64 / self.wall_secs()
+    }
+
     /// Looks up the record of a key by canonical form.
     pub fn record(&self, canonical_key: &str) -> Option<&RunRecord> {
         self.records
@@ -224,7 +249,18 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"total_moves\": {total_moves},");
         let _ = writeln!(out, "  \"total_engine_iterations\": {total_iters},");
         let _ = writeln!(out, "  \"workers\": {},", self.workers);
-        let _ = writeln!(out, "  \"wall_ms\": {}", self.wall.as_millis());
+        let _ = writeln!(out, "  \"wall_ms\": {},", self.wall.as_millis());
+        let _ = writeln!(
+            out,
+            "  \"scenarios_per_sec\": {:.1},",
+            self.scenarios_per_sec()
+        );
+        let _ = writeln!(out, "  \"rounds_per_sec\": {:.1},", self.rounds_per_sec());
+        let _ = writeln!(
+            out,
+            "  \"engine_iterations_per_sec\": {:.1}",
+            self.engine_iterations_per_sec()
+        );
         let _ = writeln!(out, "}}");
         out
     }

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use nochatter_core::unknown::{run_unknown, SliceEnumeration};
 use nochatter_core::{harness, KnownSetup};
-use nochatter_sim::RunOutcome;
+use nochatter_sim::{EngineScratch, RunOutcome};
 
 use crate::campaign::{Campaign, Scenario, ScenarioKind};
 use crate::record::{trace_digest, RunRecord};
@@ -45,19 +45,30 @@ pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
     let start = Instant::now();
     let scenarios = campaign.scenarios();
     let records: Vec<RunRecord> = if workers <= 1 {
-        scenarios.iter().map(execute_scenario).collect()
+        // One scratch threads through the whole campaign: steady-state
+        // scenario execution performs no per-run engine allocations.
+        let mut scratch = EngineScratch::new();
+        scenarios
+            .iter()
+            .map(|s| execute_scenario_with_scratch(s, &mut scratch))
+            .collect()
     } else {
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; scenarios.len()]);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(scenario) = scenarios.get(index) else {
-                        break;
-                    };
-                    let record = execute_scenario(scenario);
-                    slots.lock().expect("worker panicked")[index] = Some(record);
+                scope.spawn(|| {
+                    // One scratch per worker, reused for every scenario the
+                    // worker pulls.
+                    let mut scratch = EngineScratch::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = scenarios.get(index) else {
+                            break;
+                        };
+                        let record = execute_scenario_with_scratch(scenario, &mut scratch);
+                        slots.lock().expect("worker panicked")[index] = Some(record);
+                    }
                 });
             }
         });
@@ -77,10 +88,21 @@ pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
     }
 }
 
-/// Executes one scenario and measures it into a [`RunRecord`]. Never
-/// panics on algorithm failure: engine errors and validation failures are
-/// recorded in the `status` field.
+/// Executes one scenario with a fresh [`EngineScratch`]; see
+/// [`execute_scenario_with_scratch`] for the bulk-execution form the
+/// campaign runner uses.
 pub fn execute_scenario(scenario: &Scenario) -> RunRecord {
+    execute_scenario_with_scratch(scenario, &mut EngineScratch::new())
+}
+
+/// Executes one scenario and measures it into a [`RunRecord`], reusing the
+/// caller's [`EngineScratch`] so bulk execution allocates nothing per run
+/// in steady state. Never panics on algorithm failure: engine errors and
+/// validation failures are recorded in the `status` field.
+pub fn execute_scenario_with_scratch(
+    scenario: &Scenario,
+    scratch: &mut EngineScratch,
+) -> RunRecord {
     let mut record = RunRecord {
         key: scenario.key.clone(),
         seed: scenario.seed,
@@ -98,12 +120,13 @@ pub fn execute_scenario(scenario: &Scenario) -> RunRecord {
         trace_digest: None,
     };
     let outcome = match &scenario.kind {
-        ScenarioKind::Gather => harness::run_scenario(
+        ScenarioKind::Gather => harness::run_scenario_with_scratch(
             &scenario.cfg,
             scenario.mode,
             scenario.schedule.clone(),
             scenario.seed,
             Some(TRACE_CAPACITY),
+            scratch,
         ),
         ScenarioKind::Gossip(scheme) => {
             let setup = KnownSetup::for_configuration(

@@ -31,6 +31,65 @@ struct AgentState {
     adversary_wake: u64,
 }
 
+/// Reusable per-run working memory for [`Engine::run_with_scratch`].
+///
+/// One run needs per-node occupancy state and a few per-agent buffers; a
+/// fresh [`Engine::run`] allocates them every time, which dominates the
+/// cost of short runs executed in bulk (campaigns, benches, proptests).
+/// Threading one `EngineScratch` through repeated runs keeps every buffer's
+/// capacity, so steady-state execution allocates nothing.
+///
+/// The scratch carries no semantic state between runs: a run leaves its
+/// dirt behind and the next [`EngineScratch::prepare`] clears exactly the
+/// entries the previous run touched. Reusing one scratch across graphs of
+/// different sizes, after failed runs, or across sensing modes is always
+/// safe — [`Engine::run`] and [`Engine::run_with_scratch`] produce bitwise
+/// identical [`RunOutcome`]s.
+#[derive(Default)]
+pub struct EngineScratch {
+    /// Per-node occupant count (`CurCard` per node). All-zero outside the
+    /// occupancy phase except for nodes listed in `touched`.
+    card: Vec<u32>,
+    /// Per-node bucket of agent indices present this round, in increasing
+    /// agent order. Empty outside the occupancy phase except for `touched`
+    /// nodes.
+    occupants: Vec<Vec<u32>>,
+    /// The nodes with at least one agent this round — the only entries of
+    /// `card`/`occupants` that need clearing, so the per-round wipe is
+    /// O(k), not O(n).
+    touched: Vec<u32>,
+    /// This round's actions, co-indexed with the engine's agents.
+    acts: Vec<Option<AgentAct>>,
+    /// Sorted co-located labels, recycled through [`Obs::peer_labels`]
+    /// under [`Sensing::Traditional`] instead of allocating a fresh vector
+    /// per agent per round.
+    labels: Vec<Label>,
+    /// Agent-index permutation for the sort-based validation.
+    validate_order: Vec<usize>,
+}
+
+impl EngineScratch {
+    /// An empty scratch; buffers grow on first use and are kept thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears whatever the previous run left behind and sizes the buffers
+    /// for a graph of `n` nodes and `agent_count` agents. O(touched) for
+    /// the clearing plus O(n) only when the node capacity grows.
+    fn prepare(&mut self, n: usize, agent_count: usize) {
+        for node in self.touched.drain(..) {
+            self.card[node as usize] = 0;
+            self.occupants[node as usize].clear();
+        }
+        self.card.resize(n, 0);
+        self.occupants.resize_with(n, Vec::new);
+        self.acts.clear();
+        self.acts.resize(agent_count, None);
+        self.labels.clear();
+    }
+}
+
 /// The synchronous-round executor.
 ///
 /// Build it over a graph, add agents (label, start node, behavior), pick a
@@ -88,28 +147,75 @@ impl<'g> Engine<'g> {
         self.trace_capacity = Some(capacity);
     }
 
-    fn validate(&mut self) -> Result<(), SimError> {
+    /// The lexicographically smallest conflicting index pair among agents
+    /// sharing a key, or `None`. `order` is sorted by `(key(i), i)`, so
+    /// within every run of equal keys indices ascend and the smallest pair
+    /// of each run is an adjacent window; O(k log k) overall instead of the
+    /// former all-pairs O(k²) scan.
+    fn min_duplicate_pair<K: Ord>(
+        order: &mut [usize],
+        key: impl Fn(usize) -> K,
+    ) -> Option<(usize, usize)> {
+        order.sort_unstable_by(|&a, &b| key(a).cmp(&key(b)).then(a.cmp(&b)));
+        let mut min: Option<(usize, usize)> = None;
+        for w in order.windows(2) {
+            if key(w[0]) == key(w[1]) {
+                let pair = (w[0], w[1]);
+                if min.is_none_or(|m| pair < m) {
+                    min = Some(pair);
+                }
+            }
+        }
+        min
+    }
+
+    fn validate(&mut self, order: &mut Vec<usize>) -> Result<(), SimError> {
         if self.agents.is_empty() {
             return Err(SimError::NoAgents);
         }
-        for i in 0..self.agents.len() {
-            if !self.graph.contains(self.agents[i].pos) {
+        // The historical validation scanned agent pairs (i, j) in
+        // lexicographic order, checking start-out-of-range at (i, ·) first,
+        // then shared starts before duplicate labels at each pair. Keep that
+        // report order exactly (so multi-violation setups surface the same
+        // error) while finding each candidate with a sort instead of the
+        // quadratic scan: out-of-range at index i ranks as (i, i), a
+        // conflicting pair as (i, j) with j > i, position before label.
+        order.clear();
+        order.extend(0..self.agents.len());
+        let pos_pair = Self::min_duplicate_pair(order, |i| self.agents[i].pos);
+        let label_pair = Self::min_duplicate_pair(order, |i| self.agents[i].label);
+        let oob = self
+            .agents
+            .iter()
+            .position(|a| !self.graph.contains(a.pos))
+            .map(|i| (i, i));
+        // (i, j, check-rank): out-of-range ranks before the pair checks of
+        // the same row (its j equals i), position before label at a tie.
+        let first = [
+            oob.map(|(i, j)| (i, j, 0u8)),
+            pos_pair.map(|(i, j)| (i, j, 1u8)),
+            label_pair.map(|(i, j)| (i, j, 2u8)),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        match first {
+            Some((i, _, 0)) => {
                 return Err(SimError::StartOutOfRange {
                     node: self.agents[i].pos,
-                });
+                })
             }
-            for j in i + 1..self.agents.len() {
-                if self.agents[i].pos == self.agents[j].pos {
-                    return Err(SimError::SharedStart {
-                        node: self.agents[i].pos,
-                    });
-                }
-                if self.agents[i].label == self.agents[j].label {
-                    return Err(SimError::DuplicateLabel {
-                        label: self.agents[i].label,
-                    });
-                }
+            Some((i, _, 1)) => {
+                return Err(SimError::SharedStart {
+                    node: self.agents[i].pos,
+                })
             }
+            Some((i, _, _)) => {
+                return Err(SimError::DuplicateLabel {
+                    label: self.agents[i].label,
+                })
+            }
+            None => {}
         }
         let wake = self
             .schedule
@@ -123,23 +229,51 @@ impl<'g> Engine<'g> {
 
     /// Runs until every agent has declared or `max_rounds` have elapsed.
     ///
+    /// Allocates a fresh [`EngineScratch`] — when executing many runs in a
+    /// row, build one scratch and use [`Engine::run_with_scratch`] instead.
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] on setup problems or if a behavior commits a
     /// protocol violation (taking a nonexistent port).
-    pub fn run(mut self, max_rounds: u64) -> Result<RunOutcome, SimError> {
-        self.validate()?;
+    pub fn run(self, max_rounds: u64) -> Result<RunOutcome, SimError> {
+        self.run_with_scratch(max_rounds, &mut EngineScratch::new())
+    }
+
+    /// [`Engine::run`] against caller-owned working memory: repeated runs
+    /// through one [`EngineScratch`] allocate nothing in steady state. The
+    /// outcome is bitwise identical to [`Engine::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on setup problems or if a behavior commits a
+    /// protocol violation (taking a nonexistent port).
+    pub fn run_with_scratch(
+        mut self,
+        max_rounds: u64,
+        scratch: &mut EngineScratch,
+    ) -> Result<RunOutcome, SimError> {
+        self.validate(&mut scratch.validate_order)?;
         let mut trace = self.trace_capacity.map(Trace::with_capacity);
         let n = self.graph.node_count();
-        let mut card = vec![0u32; n];
+        scratch.prepare(n, self.agents.len());
+        let EngineScratch {
+            card,
+            occupants,
+            touched,
+            acts,
+            labels,
+            ..
+        } = scratch;
+        // Occupancy buckets feed only the traditional-sensing peer-label
+        // observation; the silent model pays nothing for them.
+        let bucket_occupants = self.sensing == Sensing::Traditional;
         let mut total_moves = 0u64;
         let mut engine_iterations = 0u64;
         let mut skipped_rounds = 0u64;
         let mut max_colocation = 0u32;
         let mut round: u64 = 0;
         let mut last_declaration_round = 0u64;
-        // Buffer of this round's actions, indexed like `agents`.
-        let mut acts: Vec<Option<AgentAct>> = vec![None; self.agents.len()];
 
         while round < max_rounds {
             engine_iterations += 1;
@@ -159,25 +293,33 @@ impl<'g> Engine<'g> {
                 }
             }
 
-            // 2. Occupancy, counting every agent physically present.
-            card.iter_mut().for_each(|c| *c = 0);
-            for a in &self.agents {
-                card[a.pos.index()] += 1;
+            // 2. Occupancy, counting every agent physically present. Only
+            // the ≤ k occupied nodes are bucketed and recorded in
+            // `touched`; the end-of-round wipe clears exactly those, so no
+            // phase of the loop scans all n nodes.
+            for (i, a) in self.agents.iter().enumerate() {
+                let node = a.pos.index();
+                if card[node] == 0 {
+                    touched.push(node as u32);
+                }
+                card[node] += 1;
+                if bucket_occupants {
+                    occupants[node].push(i as u32);
+                }
             }
-            if let Some(m) = card.iter().copied().max() {
-                max_colocation = max_colocation.max(m);
+            for &node in touched.iter() {
+                max_colocation = max_colocation.max(card[node as usize]);
             }
 
             // 3. Wake-on-visit: a dormant agent co-located with any awake or
-            // declared agent starts executing this round. (Two dormant
-            // agents can never share a node: starts are distinct.)
+            // declared agent starts executing this round. Two dormant agents
+            // can never share a node (starts are distinct and dormant agents
+            // do not move), so any co-located company is awake or declared.
             for i in 0..self.agents.len() {
                 if self.agents[i].awake {
                     continue;
                 }
-                let here = self.agents[i].pos;
-                let visited = self.agents.iter().any(|b| b.awake && b.pos == here);
-                if visited {
+                if card[self.agents[i].pos.index()] > 1 {
                     self.agents[i].awake = true;
                     self.agents[i].just_woken = true;
                     if let Some(t) = trace.as_mut() {
@@ -205,18 +347,20 @@ impl<'g> Engine<'g> {
                 let peer_labels = match self.sensing {
                     Sensing::Weak => None,
                     Sensing::Traditional => {
-                        let here = a.pos;
-                        let mut labels: Vec<Label> = self
-                            .agents
-                            .iter()
-                            .filter(|b| b.pos == here)
-                            .map(|b| b.label)
-                            .collect();
+                        // The node's bucket lists everyone present in agent
+                        // order; fill and sort the one scratch buffer, and
+                        // lend it to the observation instead of allocating.
+                        labels.clear();
+                        labels.extend(
+                            occupants[a.pos.index()]
+                                .iter()
+                                .map(|&j| self.agents[j as usize].label),
+                        );
                         labels.sort_unstable();
-                        Some(labels)
+                        Some(std::mem::take(labels))
                     }
                 };
-                let obs = Obs {
+                let mut obs = Obs {
                     round,
                     degree: self.graph.degree(a.pos),
                     cur_card: card[a.pos.index()],
@@ -225,6 +369,10 @@ impl<'g> Engine<'g> {
                     peer_labels,
                 };
                 let act = self.agents[i].behavior.on_round(&obs);
+                // Reclaim the lent label buffer (and its capacity).
+                if let Some(buf) = obs.peer_labels.take() {
+                    *labels = buf;
+                }
                 self.agents[i].just_woken = false;
                 if !matches!(act, AgentAct::Wait) {
                     all_waited = false;
@@ -283,6 +431,14 @@ impl<'g> Engine<'g> {
                         }
                     }
                 }
+            }
+
+            // End-of-round wipe: clear exactly the nodes occupied this
+            // round (the error return above leaves them for the next
+            // `prepare`, which drains the same list).
+            for node in touched.drain(..) {
+                card[node as usize] = 0;
+                occupants[node as usize].clear();
             }
 
             if self.agents.iter().all(|a| a.declared.is_some()) {
@@ -428,6 +584,58 @@ mod tests {
         assert!(matches!(
             engine.run(10),
             Err(SimError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_error_priority_matches_the_old_pairwise_scan() {
+        // The historical validator scanned pairs (i, j) lexicographically,
+        // out-of-range before the pair checks of row i, position before
+        // label at the same pair. Multi-violation setups must keep
+        // reporting the same winner.
+        let g = generators::ring(4);
+        let agent = |engine: &mut Engine<'_>, l: u64, pos: u32| {
+            engine.add_agent(
+                label(l),
+                NodeId::new(pos),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+            );
+        };
+        // Label pair (0, 3) beats position pair (1, 3).
+        let mut engine = Engine::new(&g);
+        for (l, pos) in [(1u64, 0u32), (2, 1), (3, 2), (1, 1)] {
+            agent(&mut engine, l, pos);
+        }
+        assert!(matches!(
+            engine.run(10),
+            Err(SimError::DuplicateLabel { label: l }) if l == label(1)
+        ));
+        // Position pair (0, 1) beats label pair (1, 2).
+        let mut engine = Engine::new(&g);
+        for (l, pos) in [(1u64, 0u32), (2, 0), (2, 2)] {
+            agent(&mut engine, l, pos);
+        }
+        assert!(matches!(
+            engine.run(10),
+            Err(SimError::SharedStart { node }) if node == NodeId::new(0)
+        ));
+        // Position pair (0, 2) beats the out-of-range start at index 1.
+        let mut engine = Engine::new(&g);
+        for (l, pos) in [(1u64, 0u32), (2, 99), (3, 0)] {
+            agent(&mut engine, l, pos);
+        }
+        assert!(matches!(
+            engine.run(10),
+            Err(SimError::SharedStart { node }) if node == NodeId::new(0)
+        ));
+        // ...but an out-of-range start in row 0 beats the pair (1, 2).
+        let mut engine = Engine::new(&g);
+        for (l, pos) in [(1u64, 99u32), (2, 1), (3, 1)] {
+            agent(&mut engine, l, pos);
+        }
+        assert!(matches!(
+            engine.run(10),
+            Err(SimError::StartOutOfRange { node }) if node == NodeId::new(99)
         ));
     }
 

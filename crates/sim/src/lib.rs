@@ -64,7 +64,7 @@ mod trace;
 pub mod proc;
 
 pub use behavior::{AgentAct, AgentBehavior, Declaration};
-pub use engine::{Engine, Sensing};
+pub use engine::{Engine, EngineScratch, Sensing};
 pub use error::SimError;
 pub use obs::{Action, Obs, Poll};
 pub use outcome::{DeclarationRecord, GatheringReport, RunOutcome, RunStatus, ValidationError};

@@ -6,13 +6,15 @@
 //! sharding scenarios across worker threads can only be deterministic if
 //! each individual run is.
 
+use std::cell::RefCell;
+
 use proptest::prelude::*;
 
 use nochatter_graph::generators::Family;
 use nochatter_graph::rng::Rng;
 use nochatter_graph::{Graph, Label, NodeId, Port};
 use nochatter_sim::proc::{ProcBehavior, Procedure};
-use nochatter_sim::{Action, Declaration, Engine, Obs, Poll, WakeSchedule};
+use nochatter_sim::{Action, Declaration, Engine, EngineScratch, Obs, Poll, Sensing, WakeSchedule};
 
 /// A seeded random walker: each round it either waits or takes a random
 /// port, for a seed-determined number of rounds, then declares how many
@@ -111,6 +113,36 @@ proptest! {
         let b = build_engine(&graph, &starts, seed, &schedule).run(500).unwrap();
         // Debug formatting covers every field of the outcome, declarations
         // included — and the traces, event for event.
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+        prop_assert_eq!(ta.events(), tb.events());
+        prop_assert_eq!(ta.dropped(), tb.dropped());
+    }
+
+    /// `run` and `run_with_scratch` are the same computation: for random
+    /// scenarios under both sensing modes, the outcomes and traces are
+    /// bitwise identical. The scratch persists across proptest cases (and
+    /// is deliberately left dirty between them), so this also pins the
+    /// reuse contract across different graphs, team placements and
+    /// schedules.
+    #[test]
+    fn run_with_scratch_is_bitwise_identical_to_run(
+        (graph, starts, seed, schedule) in scenario_strategy(),
+        traditional in any::<bool>(),
+    ) {
+        thread_local! {
+            static SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::new());
+        }
+        prop_assume!(starts[0] != starts[1] && starts[1] != starts[2] && starts[0] != starts[2]);
+        let sensing = if traditional { Sensing::Traditional } else { Sensing::Weak };
+        let mut fresh = build_engine(&graph, &starts, seed, &schedule);
+        fresh.set_sensing(sensing);
+        let a = fresh.run(500).unwrap();
+        let b = SCRATCH.with(|scratch| {
+            let mut reused = build_engine(&graph, &starts, seed, &schedule);
+            reused.set_sensing(sensing);
+            reused.run_with_scratch(500, &mut scratch.borrow_mut()).unwrap()
+        });
         prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
         let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
         prop_assert_eq!(ta.events(), tb.events());
