@@ -16,9 +16,12 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
 
+use nochatter_graph::dynamic::SeededEdgeFailure;
 use nochatter_graph::{algo, generators, Graph, Label, NodeId, Port};
 use nochatter_sim::proc::{ProcBehavior, Procedure};
-use nochatter_sim::{Action, Engine, EngineScratch, Obs, Poll, Sensing, WakeSchedule};
+use nochatter_sim::{
+    Action, Engine, EngineScratch, Obs, Poll, Sensing, TopologySpec, WakeSchedule,
+};
 
 fn label(v: u64) -> Label {
     Label::new(v).unwrap()
@@ -60,6 +63,42 @@ fn engine_walk(g: &Graph, agents: u32, rounds: u64, sensing: Sensing, scratch: &
             label(u64::from(i) + 1),
             NodeId::new(i * (n / agents) % n),
             Box::new(ProcBehavior::declaring(Walker)),
+        );
+    }
+    engine.set_wake_schedule(WakeSchedule::Simultaneous);
+    black_box(engine.run_with_scratch(rounds, scratch).unwrap());
+}
+
+/// A walker that tolerates blocked moves: on `blocked` it re-attempts a
+/// different port, so dynamic runs keep generating traversal attempts.
+struct BlockedTolerantWalker;
+impl Procedure for BlockedTolerantWalker {
+    type Output = ();
+    fn poll(&mut self, obs: &Obs) -> Poll<()> {
+        let base = obs.entry_port.map_or(0, |p| p.number() + 1);
+        let next = (base + u32::from(obs.blocked)) % obs.degree;
+        Poll::Yield(Action::TakePort(Port::new(next)))
+    }
+}
+
+/// [`engine_walk`] through the dynamic topology machinery: the engine is
+/// monomorphized over `SpecView` and pays one edge-presence check per move
+/// attempt. Compare against `round_loop/walkers` to see the per-round cost
+/// of the dynamism axis.
+fn engine_walk_dynamic(
+    g: &Graph,
+    topo: &TopologySpec,
+    agents: u32,
+    rounds: u64,
+    scratch: &mut EngineScratch,
+) {
+    let n = g.node_count() as u32;
+    let mut engine = Engine::with_topology(g, topo);
+    for i in 0..agents {
+        engine.add_agent(
+            label(u64::from(i) + 1),
+            NodeId::new(i * (n / agents) % n),
+            Box::new(ProcBehavior::declaring(BlockedTolerantWalker)),
         );
     }
     engine.set_wake_schedule(WakeSchedule::Simultaneous);
@@ -145,6 +184,15 @@ fn round_loop(c: &mut Criterion) {
     group.bench_function("walkers_traditional/8", |b| {
         let mut scratch = EngineScratch::new();
         b.iter(|| engine_walk(&g, 8, s.engine_rounds, Sensing::Traditional, &mut scratch))
+    });
+    // The dynamic-view loop: same walk through the `SpecView`
+    // monomorphization with a seeded edge-failure adversary. Not part of
+    // the emitted trajectory artifact (its schema is pinned); criterion
+    // reports the static-vs-dynamic per-round delta.
+    group.bench_function("walkers_dynamic_failure/8", |b| {
+        let topo = TopologySpec::EdgeFailure(SeededEdgeFailure { p: 0.1, seed: 9 });
+        let mut scratch = EngineScratch::new();
+        b.iter(|| engine_walk_dynamic(&g, &topo, 8, s.engine_rounds, &mut scratch))
     });
     // Many short runs: the regime where per-run allocations dominated
     // before `run_with_scratch` existed.

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! The `campaign` subcommand expands the demo campaign (8 graph families ×
-//! sizes × teams × wake schedules × both sensing modes; 256 scenarios), or
+//! sizes × teams × wake schedules × 3 topologies × both sensing modes;
+//! 560 scenarios), or
 //! the tiny CI smoke campaign with `--smoke`, shards it over `--workers`
 //! threads (0 = all cores), and writes `<name>.json`, `<name>.csv` and
 //! `BENCH_campaign.json` under `--out` (default `target/campaign`). The
@@ -111,10 +112,40 @@ fn run_campaign_cli(args: &[String]) -> ExitCode {
         artifacts.csv.display(),
         artifacts.trajectory.display()
     );
-    if report.ok_count() == report.records.len() {
+    // Static cells must all gather — a failure there is a regression. A
+    // dynamic cell that fails *validation* is an experimental outcome:
+    // the paper's algorithm assumes a static network, and the campaign
+    // quantifies where that assumption bites (the report carries the
+    // blocked-move counts). Engine errors and unsupported cells are bugs
+    // on any topology and still fail the run.
+    let is_expected = |r: &&nochatter_lab::RunRecord| {
+        r.key.topo != "static"
+            && !r.status.starts_with("engine error")
+            && !r.status.starts_with("unsupported")
+    };
+    let expected_dynamic = report
+        .records
+        .iter()
+        .filter(|r| !r.ok)
+        .filter(is_expected)
+        .count();
+    if expected_dynamic > 0 {
+        eprintln!(
+            "{expected_dynamic} dynamic cell(s) did not survive their adversary \
+             (expected for the silent algorithm on dynamic topologies; see the \
+             report's status and blocked_moves fields)"
+        );
+    }
+    let hard_failures: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| !r.ok)
+        .filter(|r| !is_expected(r))
+        .collect();
+    if hard_failures.is_empty() {
         ExitCode::SUCCESS
     } else {
-        for r in report.records.iter().filter(|r| !r.ok) {
+        for r in hard_failures {
             eprintln!("FAILED {}: {}", r.key, r.status);
         }
         ExitCode::FAILURE

@@ -11,7 +11,7 @@
 //! cargo run -p nochatter-bench --release --bin experiments -- all
 //! ```
 //!
-//! Every scenario-sweep table (T1, F1, F2, T3, F3, T4, F4, T5, T6) is
+//! Every scenario-sweep table (T1, F1, F2, T3, F3, T4, F4, T5, T6, DR1) is
 //! expressed as a [`nochatter_lab`] campaign: the sweep is a declarative
 //! [`Matrix`] (or an explicit scenario list for the unknown-bound tables),
 //! executed by the sharded deterministic campaign runner, and the table is
@@ -429,6 +429,7 @@ fn unknown_scenario(
         n: truth.size() as u32,
         team: truth.labels().map(Label::value).collect(),
         wake: wake_name(&schedule),
+        topo: "static".into(),
         mode: mode_name(mode).into(),
         variant: kind.variant_name(),
         rep: 0,
@@ -438,6 +439,7 @@ fn unknown_scenario(
         cfg: truth,
         mode,
         schedule,
+        topo: nochatter_sim::TopologySpec::Static,
         kind,
         seed: 0, // overwritten by Campaign::from_scenarios
     }
@@ -836,6 +838,54 @@ pub fn a2_est_ablation(_ctx: ExperimentCtx) -> Table {
     t
 }
 
+/// DR1 — gathering on 1-interval-connected dynamic rings (à la *Gathering
+/// in Dynamic Rings*, Di Luna et al.): the `dr1` preset campaign pits the
+/// algorithm against an adversary that removes one seeded ring edge per
+/// round, with each dynamic cell's static twin (same derived seed, same
+/// base ring) as the control column.
+pub fn dr1_dynamic_ring(ctx: ExperimentCtx) -> Table {
+    let mut t = Table::new(
+        "DR1 — dynamic ring: one adversarial edge removal per round (1-interval connectivity)",
+        vec!["n", "k", "wake", "mode", "topo", "ok", "rounds", "blocked"],
+    );
+    let report = run_campaign(&nochatter_lab::presets::dr1_campaign(ctx.quick), 0);
+    for r in &report.records {
+        let (ok, rounds) = ok_cell(r);
+        t.row(vec![
+            r.n_actual.to_string(),
+            r.key.team.len().to_string(),
+            r.key.wake.clone(),
+            r.key.mode.clone(),
+            r.key.topo.clone(),
+            ok,
+            rounds,
+            r.blocked_moves.to_string(),
+        ]);
+    }
+    let dynamic: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.key.topo != "static")
+        .collect();
+    let survived = dynamic.iter().filter(|r| r.ok).count();
+    let blocked: u64 = dynamic.iter().map(|r| r.blocked_moves).sum();
+    t.note(format!(
+        "static control: {}/{} ok; dynamic ring: {survived}/{} ok with {blocked} blocked \
+         moves total. The talking baseline survives every cell (label sensing makes \
+         meeting detection timing-independent); the silent algorithm — EXPLO retries \
+         blocked traversals — survives a substantial subset, and where it fails the \
+         record names the violated requirement.",
+        report
+            .records
+            .iter()
+            .filter(|r| r.key.topo == "static" && r.ok)
+            .count(),
+        report.records.len() - dynamic.len(),
+        dynamic.len(),
+    ));
+    t
+}
+
 /// Runs an experiment by id; `None` for an unknown id.
 pub fn run_experiment(id: &str, ctx: ExperimentCtx) -> Option<Table> {
     Some(match id {
@@ -849,6 +899,7 @@ pub fn run_experiment(id: &str, ctx: ExperimentCtx) -> Option<Table> {
         "f4" => f4_gossip_vs_len(ctx),
         "t5" => t5_price_of_silence(ctx),
         "t6" => t6_agreement(ctx),
+        "dr1" => dr1_dynamic_ring(ctx),
         "a1" => a1_uxs_ablation(ctx),
         "a2" => a2_est_ablation(ctx),
         _ => return None,
@@ -858,7 +909,7 @@ pub fn run_experiment(id: &str, ctx: ExperimentCtx) -> Option<Table> {
 /// All experiment ids, in presentation order.
 pub fn all_experiment_ids() -> &'static [&'static str] {
     &[
-        "t1", "f1", "f2", "t2", "t3", "f3", "t4", "f4", "t5", "t6", "a1", "a2",
+        "t1", "f1", "f2", "t2", "t3", "f3", "t4", "f4", "t5", "t6", "dr1", "a1", "a2",
     ]
 }
 
@@ -918,6 +969,29 @@ mod tests {
         assert_eq!(num, den, "not all runs gathered: {row:?}");
         assert_eq!(row[2], "0", "invariant violations: {:?}", t.notes);
         assert_eq!(row[3], "0", "engine errors: {:?}", t.notes);
+    }
+
+    #[test]
+    fn dr1_controls_hold_and_dynamics_are_exercised() {
+        let t = dr1_dynamic_ring(quick());
+        // Static control rows all gather with zero blocked moves.
+        for row in t.rows.iter().filter(|r| r[4] == "static") {
+            assert_eq!(row[5], "yes", "{row:?}");
+            assert_eq!(row[7], "0", "{row:?}");
+        }
+        // Dynamic rows exist, all paid blocked moves, talking all gather.
+        let dynamic: Vec<_> = t.rows.iter().filter(|r| r[4] != "static").collect();
+        assert!(!dynamic.is_empty());
+        for row in &dynamic {
+            assert_ne!(row[7], "0", "{row:?}");
+            if row[3] == "talking" {
+                assert_eq!(row[5], "yes", "{row:?}");
+            }
+        }
+        assert!(
+            dynamic.iter().any(|r| r[3] == "silent" && r[5] == "yes"),
+            "some silent cell must survive the adversary"
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@
 use std::sync::{Arc, Mutex};
 
 use nochatter_graph::{InitialConfiguration, Label};
-use nochatter_sim::{Engine, EngineScratch, RunOutcome, Sensing, SimError, WakeSchedule};
+use nochatter_sim::{
+    Engine, EngineScratch, RunOutcome, Sensing, SimError, Static, Topology, TopologySpec,
+    WakeSchedule,
+};
 
 use crate::codec::BitStr;
 use crate::gossip::{GossipKnownUpperBound, GossipReport};
@@ -100,7 +103,23 @@ pub fn run_known_traced_with_scratch(
     trace_capacity: Option<usize>,
     scratch: &mut EngineScratch,
 ) -> Result<RunOutcome, SimError> {
-    let mut engine = Engine::new(cfg.graph());
+    run_known_view(cfg, setup, mode, schedule, &Static, trace_capacity, scratch)
+}
+
+/// The one engine-wiring path behind every known-upper-bound runner,
+/// monomorphized over the topology: the [`Static`] instantiation is the
+/// pre-dynamic hot path, and one [`nochatter_sim::SpecView`] instantiation
+/// covers every round-varying provider.
+fn run_known_view<T: Topology>(
+    cfg: &InitialConfiguration,
+    setup: &KnownSetup,
+    mode: CommMode,
+    schedule: WakeSchedule,
+    topology: &T,
+    trace_capacity: Option<usize>,
+    scratch: &mut EngineScratch,
+) -> Result<RunOutcome, SimError> {
+    let mut engine = Engine::with_topology(cfg.graph(), topology);
     engine.set_sensing(sensing_for(mode));
     if let Some(capacity) = trace_capacity {
         engine.record_trace(capacity);
@@ -125,20 +144,29 @@ pub fn run_known_traced_with_scratch(
 ///
 /// Builds the [`KnownSetup`] from `(cfg, seed)` — the exploration-sequence
 /// stream derives from `seed`, the bound is the true size — and runs under
-/// `mode` and `schedule`. Fully deterministic: identical arguments produce
-/// a bitwise-identical [`RunOutcome`], which is what makes sharded campaign
-/// runs reproducible regardless of worker count.
+/// `mode`, `schedule` and the round-varying topology described by `topo`
+/// ([`TopologySpec::Static`] is the paper's model and costs nothing; see
+/// [`nochatter_graph::dynamic`] for the dynamic providers). Fully
+/// deterministic: identical arguments produce a bitwise-identical
+/// [`RunOutcome`], which is what makes sharded campaign runs reproducible
+/// regardless of worker count.
 ///
 /// # Errors
 ///
 /// Propagates engine setup or protocol errors.
+///
+/// # Panics
+///
+/// Panics if `topo` is incompatible with the configuration's graph
+/// (a [`TopologySpec::Ring`] over a non-cycle — check
+/// [`TopologySpec::compatible_with`] first).
 ///
 /// # Example
 ///
 /// ```
 /// use nochatter_core::{harness, CommMode};
 /// use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
-/// use nochatter_sim::WakeSchedule;
+/// use nochatter_sim::{TopologySpec, WakeSchedule};
 ///
 /// let cfg = InitialConfiguration::new(
 ///     generators::ring(4),
@@ -151,6 +179,7 @@ pub fn run_known_traced_with_scratch(
 ///     &cfg,
 ///     CommMode::Silent,
 ///     WakeSchedule::Simultaneous,
+///     &TopologySpec::Static,
 ///     7,
 ///     None,
 /// )?;
@@ -161,6 +190,7 @@ pub fn run_scenario(
     cfg: &InitialConfiguration,
     mode: CommMode,
     schedule: WakeSchedule,
+    topo: &TopologySpec,
     seed: u64,
     trace_capacity: Option<usize>,
 ) -> Result<RunOutcome, SimError> {
@@ -168,6 +198,7 @@ pub fn run_scenario(
         cfg,
         mode,
         schedule,
+        topo,
         seed,
         trace_capacity,
         &mut EngineScratch::new(),
@@ -182,16 +213,34 @@ pub fn run_scenario(
 /// # Errors
 ///
 /// Propagates engine setup or protocol errors.
+///
+/// # Panics
+///
+/// Panics if `topo` is incompatible with the configuration's graph.
 pub fn run_scenario_with_scratch(
     cfg: &InitialConfiguration,
     mode: CommMode,
     schedule: WakeSchedule,
+    topo: &TopologySpec,
     seed: u64,
     trace_capacity: Option<usize>,
     scratch: &mut EngineScratch,
 ) -> Result<RunOutcome, SimError> {
     let setup = KnownSetup::for_configuration(cfg, cfg.size() as u32, seed);
-    run_known_traced_with_scratch(cfg, &setup, mode, schedule, trace_capacity, scratch)
+    if topo.is_static() {
+        // The zero-cost monomorphization: exactly the pre-dynamic engine.
+        run_known_view(
+            cfg,
+            &setup,
+            mode,
+            schedule,
+            &Static,
+            trace_capacity,
+            scratch,
+        )
+    } else {
+        run_known_view(cfg, &setup, mode, schedule, topo, trace_capacity, scratch)
+    }
 }
 
 /// One known-upper-bound gathering scenario of a [`run_scenario_batch`]
@@ -205,6 +254,9 @@ pub struct GatherScenario<'a> {
     pub mode: CommMode,
     /// The adversary's wake schedule.
     pub schedule: WakeSchedule,
+    /// The round-varying topology ([`TopologySpec::Static`] for the
+    /// paper's model).
+    pub topo: TopologySpec,
     /// Seed of the exploration-sequence stream.
     pub seed: u64,
     /// Event-trace capacity, if a trace is wanted.
@@ -225,6 +277,7 @@ pub fn run_scenario_batch(batch: &[GatherScenario<'_>]) -> Vec<Result<RunOutcome
                 s.cfg,
                 s.mode,
                 s.schedule.clone(),
+                &s.topo,
                 s.seed,
                 s.trace_capacity,
                 &mut scratch,
@@ -426,29 +479,53 @@ mod tests {
     #[test]
     fn batch_matches_individual_runs_bitwise() {
         let cfgs = [cfg(4, &[(2, 0), (3, 2)]), cfg(6, &[(2, 1), (5, 4)])];
-        // Alternate modes so the shared scratch crosses sensing models and
-        // graph sizes between consecutive runs.
+        // Alternate modes and topologies so the shared scratch crosses
+        // sensing models, graph sizes and static/dynamic paths between
+        // consecutive runs.
+        let topos = [
+            TopologySpec::Static,
+            TopologySpec::Periodic(nochatter_graph::dynamic::PeriodicEdges {
+                period: 5,
+                offset: 0,
+            }),
+        ];
         let batch: Vec<GatherScenario<'_>> = cfgs
             .iter()
             .enumerate()
             .flat_map(|(i, cfg)| {
-                [CommMode::Silent, CommMode::Talking].map(|mode| GatherScenario {
-                    cfg,
-                    mode,
-                    schedule: WakeSchedule::Simultaneous,
-                    seed: 7 + i as u64,
-                    trace_capacity: Some(1 << 12),
-                })
+                let topos = &topos;
+                [CommMode::Silent, CommMode::Talking]
+                    .into_iter()
+                    .flat_map(move |mode| {
+                        topos.iter().map(move |topo| GatherScenario {
+                            cfg,
+                            mode,
+                            schedule: WakeSchedule::Simultaneous,
+                            topo: topo.clone(),
+                            seed: 7 + i as u64,
+                            trace_capacity: Some(1 << 12),
+                        })
+                    })
             })
             .collect();
         let outcomes = run_scenario_batch(&batch);
         assert_eq!(outcomes.len(), batch.len());
         for (s, batched) in batch.iter().zip(&outcomes) {
-            let solo =
-                run_scenario(s.cfg, s.mode, s.schedule.clone(), s.seed, s.trace_capacity).unwrap();
+            let solo = run_scenario(
+                s.cfg,
+                s.mode,
+                s.schedule.clone(),
+                &s.topo,
+                s.seed,
+                s.trace_capacity,
+            )
+            .unwrap();
             let batched = batched.as_ref().unwrap();
             assert_eq!(format!("{batched:?}"), format!("{solo:?}"));
-            assert!(batched.gathering().is_ok());
+            if s.topo.is_static() {
+                assert!(batched.gathering().is_ok());
+                assert_eq!(batched.blocked_moves, 0);
+            }
         }
     }
 }

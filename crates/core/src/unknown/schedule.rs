@@ -64,7 +64,8 @@ impl fmt::Display for ScheduleError {
 
 impl Error for ScheduleError {}
 
-/// All per-hypothesis derived quantities; see the [module docs](self).
+/// All per-hypothesis derived quantities; see the module-level
+/// documentation above for the calibration constants.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HypothesisSchedule {
     /// `n_h`: the hypothetical graph size.

@@ -26,6 +26,13 @@ pub struct ExploOutcome {
 /// The walk rule: after entering a node of degree `d` by port `p` (the start
 /// node counts as entered by port 0), exit by port `(p + x_i) mod d`.
 ///
+/// Under a round-varying topology (see [`nochatter_graph::dynamic`]) a
+/// traversal can be *blocked*: the agent stays put and observes
+/// `blocked: true` next round. `EXPLO` then rewinds one tick and re-attempts
+/// the same traversal, so the walk it performs is always a genuine walk of
+/// the base graph — at the cost of stretching past the nominal duration.
+/// On the static model `blocked` is never set and the duration is exact.
+///
 /// # Example
 ///
 /// ```
@@ -69,6 +76,12 @@ impl Procedure for Explo {
 
     fn poll(&mut self, obs: &Obs) -> Poll<ExploOutcome> {
         let len = self.uxs.len();
+        // A blocked traversal (round-varying topologies only): the
+        // previous yield did not move and recorded no entry, so rewind one
+        // tick and re-attempt the identical traversal this round.
+        if obs.blocked && self.tick >= 1 {
+            self.tick -= 1;
+        }
         if self.tick < 2 * len {
             self.min_card = self.min_card.min(obs.cur_card);
         }

@@ -17,6 +17,10 @@
 //! * [`enumerate`] — exhaustive enumeration of *all* connected port-labeled
 //!   graphs of a small size, used to certify genuinely universal exploration
 //!   sequences;
+//! * [`dynamic`] — round-varying topologies: [`dynamic::Topology`]
+//!   providers (periodic outages, seeded edge failures, the
+//!   1-interval-connected dynamic ring) yielding per-round edge-presence
+//!   views over a static base graph;
 //! * [`InitialConfiguration`] — a graph together with labeled start nodes,
 //!   the objects enumerated by the unknown-upper-bound algorithm;
 //! * [`rng`] — a tiny deterministic RNG (SplitMix64 / xoshiro256**) so that
@@ -44,6 +48,7 @@ mod error;
 mod graph;
 
 pub mod algo;
+pub mod dynamic;
 pub mod enumerate;
 pub mod generators;
 pub mod rng;

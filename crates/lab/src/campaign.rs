@@ -8,7 +8,7 @@ use nochatter_core::{BitStr, CommMode};
 use nochatter_graph::generators::Family;
 use nochatter_graph::rng::derive_seed;
 use nochatter_graph::{InitialConfiguration, Label, NodeId};
-use nochatter_sim::WakeSchedule;
+use nochatter_sim::{TopologySpec, WakeSchedule};
 
 use crate::record::{fnv_bytes, ScenarioKey};
 
@@ -122,6 +122,10 @@ pub struct Scenario {
     pub mode: CommMode,
     /// The adversary's wake schedule.
     pub schedule: WakeSchedule,
+    /// The round-varying topology ([`TopologySpec::Static`] for the
+    /// paper's model). An execution axis: a dynamic cell shares its seed
+    /// and base graph with its static twin.
+    pub topo: TopologySpec,
     /// The algorithm under test.
     pub kind: ScenarioKind,
     /// Seed derived from the campaign seed and the key.
@@ -276,10 +280,15 @@ pub fn spread(
 }
 
 /// The cartesian scenario matrix: graph family × size × team × wake
-/// schedule × sensing mode × algorithm variant × seed repetition.
+/// schedule × dynamism × sensing mode × algorithm variant × seed
+/// repetition.
 ///
 /// Cells a family cannot realize (more agents than nodes) are skipped
-/// silently, mirroring the original sweep tables.
+/// silently, mirroring the original sweep tables; so are cells whose
+/// topology cannot run over the instantiated graph (a
+/// [`TopologySpec::Ring`] over anything but a cycle), which lets one
+/// matrix cross the dynamic-ring adversary with a family list that
+/// includes non-rings.
 ///
 /// # Example
 ///
@@ -309,6 +318,8 @@ pub struct Matrix {
     pub teams: Vec<Vec<u64>>,
     /// Wake schedules.
     pub schedules: Vec<WakeSchedule>,
+    /// Round-varying topologies (the dynamism axis).
+    pub topologies: Vec<TopologySpec>,
     /// Sensing/communication modes.
     pub modes: Vec<CommMode>,
     /// Algorithm variants.
@@ -329,6 +340,7 @@ impl Matrix {
             sizes: Vec::new(),
             teams: Vec::new(),
             schedules: vec![WakeSchedule::Simultaneous],
+            topologies: vec![TopologySpec::Static],
             modes: vec![CommMode::Silent],
             kinds: vec![ScenarioKind::Gather],
             reps: 1,
@@ -370,6 +382,7 @@ impl Matrix {
                             n,
                             team: team.clone(),
                             wake: String::new(),
+                            topo: String::new(),
                             mode: String::new(),
                             variant: String::new(),
                             rep,
@@ -382,21 +395,28 @@ impl Matrix {
                         };
                         let cfg = spread(graph, team)?;
                         for schedule in &self.schedules {
-                            for &mode in &self.modes {
-                                for kind in &self.kinds {
-                                    scenarios.push(Scenario {
-                                        key: ScenarioKey {
-                                            wake: wake_name(schedule),
-                                            mode: mode_name(mode).into(),
-                                            variant: kind.variant_name(),
-                                            ..instance_key.clone()
-                                        },
-                                        cfg: cfg.clone(),
-                                        mode,
-                                        schedule: schedule.clone(),
-                                        kind: kind.clone(),
-                                        seed,
-                                    });
+                            for topo in &self.topologies {
+                                if !topo.compatible_with(cfg.graph()) {
+                                    continue; // e.g. a dynamic ring over a non-cycle
+                                }
+                                for &mode in &self.modes {
+                                    for kind in &self.kinds {
+                                        scenarios.push(Scenario {
+                                            key: ScenarioKey {
+                                                wake: wake_name(schedule),
+                                                topo: topo.short_name(),
+                                                mode: mode_name(mode).into(),
+                                                variant: kind.variant_name(),
+                                                ..instance_key.clone()
+                                            },
+                                            cfg: cfg.clone(),
+                                            mode,
+                                            schedule: schedule.clone(),
+                                            topo: topo.clone(),
+                                            kind: kind.clone(),
+                                            seed,
+                                        });
+                                    }
                                 }
                             }
                         }

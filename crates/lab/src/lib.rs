@@ -2,9 +2,10 @@
 //!
 //! Declarative scenario campaigns for the *Want to Gather? No Need to
 //! Chatter!* reproduction: describe a cartesian matrix of graph family ×
-//! size × team × wake schedule × sensing mode × algorithm variant × seed
-//! repetition, shard it across a worker pool, and collect structured
-//! per-scenario records into deterministic JSON/CSV reports.
+//! size × team × wake schedule × dynamism (round-varying topology) ×
+//! sensing mode × algorithm variant × seed repetition, shard it across a
+//! worker pool, and collect structured per-scenario records into
+//! deterministic JSON/CSV reports.
 //!
 //! Three properties make the subsystem useful beyond convenience:
 //!
@@ -13,8 +14,8 @@
 //!   sub-key* (not its index or its worker), and records are collected in
 //!   key order — so a 1-worker run and an 8-worker run produce
 //!   byte-identical reports, and golden files diff cleanly in CI. Cells
-//!   differing only in execution axes (wake, mode, variant) share one
-//!   seed, hence one graph instance and one exploration setup.
+//!   differing only in execution axes (wake, dynamism, mode, variant)
+//!   share one seed, hence one graph instance and one exploration setup.
 //! * **One execution path.** Scenarios run through
 //!   `nochatter_core::harness::run_scenario` (and its gossip/unknown
 //!   siblings), the same entry point the bench tables, the differential

@@ -2,8 +2,9 @@
 //! byte) and the demo campaign behind `experiments -- campaign`.
 
 use nochatter_core::CommMode;
+use nochatter_graph::dynamic::{DynamicRing, SeededEdgeFailure};
 use nochatter_graph::generators::Family;
-use nochatter_sim::WakeSchedule;
+use nochatter_sim::{TopologySpec, WakeSchedule};
 
 use crate::campaign::{Campaign, Matrix};
 
@@ -13,6 +14,14 @@ pub const SMOKE_SEED: u64 = 42;
 
 /// The default master seed of [`demo_campaign`].
 pub const DEMO_SEED: u64 = 2020;
+
+/// The default master seed of [`dr1_campaign`].
+pub const DR1_SEED: u64 = 1971;
+
+/// The seed of the demo/DR1 dynamic adversaries (edge-failure and
+/// dynamic-ring specs carry their own seed, independent of the campaign
+/// seed, so the adversary is part of the scenario's identity).
+pub const ADVERSARY_SEED: u64 = 0xD1CE;
 
 /// The smoke matrix: 2 families × 2 sizes × 2 schedules of silent
 /// gathering (8 scenarios).
@@ -37,9 +46,17 @@ pub fn smoke_campaign() -> Campaign {
 }
 
 /// The demo matrix: 8 graph families × 4 sizes × 2 teams × 2 wake
-/// schedules × both sensing modes of the gathering algorithm — 256
-/// scenarios (a few cells skip where the team outgrows the graph).
-/// `quick` halves the size axis for fast iteration.
+/// schedules × 3 topologies × both sensing modes of the gathering
+/// algorithm (a few cells skip where the team outgrows the graph, and the
+/// dynamic-ring cells exist only for the ring family). `quick` halves the
+/// size axis for fast iteration.
+///
+/// The dynamism axis makes every demo run a static-vs-dynamic
+/// differential: each dynamic cell shares its seed and base graph with
+/// its static twin. Dynamic cells are *expected* to fail sometimes — the
+/// paper's algorithm is designed for static networks, and the campaign
+/// records exactly where (and how many moves were blocked) when it
+/// doesn't survive the adversary.
 pub fn demo_matrix(quick: bool) -> Matrix {
     let sizes: Vec<u32> = if quick { vec![4, 6] } else { vec![4, 6, 8, 9] };
     Matrix {
@@ -59,6 +76,16 @@ pub fn demo_matrix(quick: bool) -> Matrix {
             WakeSchedule::Simultaneous,
             WakeSchedule::Staggered { gap: 3 },
         ],
+        topologies: vec![
+            TopologySpec::Static,
+            TopologySpec::EdgeFailure(SeededEdgeFailure {
+                p: 0.05,
+                seed: ADVERSARY_SEED,
+            }),
+            TopologySpec::Ring(DynamicRing {
+                seed: ADVERSARY_SEED,
+            }),
+        ],
         modes: vec![CommMode::Silent, CommMode::Talking],
         ..Matrix::new()
     }
@@ -70,6 +97,37 @@ pub fn demo_campaign(quick: bool) -> Campaign {
     demo_matrix(quick)
         .campaign(if quick { "demo-quick" } else { "demo" }, DEMO_SEED)
         .expect("demo campaign is well-formed")
+}
+
+/// The DR1 matrix — the dynamic-ring study à la Di Luna et al.: rings of
+/// several sizes × 2 teams × 2 wake schedules × {static, dynamic-ring
+/// adversary} × both sensing modes. Every dynamic cell is the
+/// 1-interval-connected adversary removing one seeded edge per round; its
+/// static twin (same seed, same base ring) is the control.
+pub fn dr1_matrix(quick: bool) -> Matrix {
+    let sizes: Vec<u32> = if quick { vec![4, 5] } else { vec![4, 5, 6, 8] };
+    Matrix {
+        families: vec![Family::Ring],
+        sizes,
+        teams: vec![vec![2, 3], vec![3, 5, 9]],
+        schedules: vec![WakeSchedule::Simultaneous, WakeSchedule::FirstOnly],
+        topologies: vec![
+            TopologySpec::Static,
+            TopologySpec::Ring(DynamicRing {
+                seed: ADVERSARY_SEED,
+            }),
+        ],
+        modes: vec![CommMode::Silent, CommMode::Talking],
+        ..Matrix::new()
+    }
+}
+
+/// The DR1 campaign behind `experiments -- dr1`: [`dr1_matrix`] under the
+/// pinned seed [`DR1_SEED`].
+pub fn dr1_campaign(quick: bool) -> Campaign {
+    dr1_matrix(quick)
+        .campaign("dr1", DR1_SEED)
+        .expect("dr1 campaign is well-formed")
 }
 
 #[cfg(test)]
@@ -95,5 +153,57 @@ mod tests {
         families.sort_unstable();
         families.dedup();
         assert!(families.len() >= 6, "only {} families", families.len());
+    }
+
+    #[test]
+    fn demo_exercises_the_dynamism_axis() {
+        for quick in [true, false] {
+            let c = demo_campaign(quick);
+            let mut topos: Vec<&str> = c.scenarios().iter().map(|s| s.key.topo.as_str()).collect();
+            topos.sort_unstable();
+            topos.dedup();
+            assert!(
+                topos.len() >= 3,
+                "demo must sweep static + 2 dynamic topologies, got {topos:?}"
+            );
+            // Dynamic-ring cells exist, and only over cycle base graphs
+            // (the ring family everywhere; other families only where the
+            // instance happens to be a cycle, e.g. the 2×2 grid).
+            assert!(c
+                .scenarios()
+                .iter()
+                .any(|s| s.key.topo.starts_with("dring") && s.key.family == "ring"));
+            for s in c.scenarios() {
+                if s.key.topo.starts_with("dring") {
+                    assert!(
+                        nochatter_graph::dynamic::is_cycle(s.cfg.graph()),
+                        "{} is a dring cell over a non-cycle",
+                        s.key
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dr1_pairs_every_dynamic_cell_with_a_static_twin() {
+        let c = dr1_campaign(true);
+        let dynamic: Vec<_> = c
+            .scenarios()
+            .iter()
+            .filter(|s| s.key.topo != "static")
+            .collect();
+        assert!(!dynamic.is_empty());
+        for s in dynamic {
+            let mut twin = s.key.clone();
+            twin.topo = "static".into();
+            let twin = c
+                .scenarios()
+                .iter()
+                .find(|t| t.key == twin)
+                .expect("static twin exists");
+            assert_eq!(twin.seed, s.seed, "twins must share the derived seed");
+            assert_eq!(twin.cfg, s.cfg, "twins must share the base ring");
+        }
     }
 }

@@ -13,8 +13,8 @@ use nochatter_sim::{Trace, TraceEvent};
 /// of existing cells).
 ///
 /// The derived [`Ord`] sorts by field order — family, size, team, wake
-/// schedule, sensing mode, algorithm variant, repetition — which groups
-/// reports the way the tables read.
+/// schedule, dynamism, sensing mode, algorithm variant, repetition — which
+/// groups reports the way the tables read.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ScenarioKey {
     /// Graph family short name (e.g. `"ring"`), or a free-form tag for
@@ -26,6 +26,10 @@ pub struct ScenarioKey {
     pub team: Vec<u64>,
     /// Wake-schedule short name (e.g. `"simul"`, `"first"`, `"stag7"`).
     pub wake: String,
+    /// Dynamism axis: the topology's short name (`"static"`, `"dring@9"`,
+    /// `"ef100@9"`, `"per7.0"` — see
+    /// `nochatter_sim::TopologySpec::short_name`).
+    pub topo: String,
     /// Sensing/communication mode: `"silent"` or `"talking"`.
     pub mode: String,
     /// Algorithm variant short name (e.g. `"gather"`, `"gossip-u4"`).
@@ -46,13 +50,23 @@ impl ScenarioKey {
 
     /// The canonical single-line form, unique per scenario within a
     /// campaign.
+    ///
+    /// The dynamism segment appears only for non-static topologies, so
+    /// every pre-dynamism key (and with it every golden report) renders
+    /// unchanged.
     pub fn canonical(&self) -> String {
+        let topo = if self.topo.is_empty() || self.topo == "static" {
+            String::new()
+        } else {
+            format!("/{}", self.topo)
+        };
         format!(
-            "{}/n{}/t{}/w{}/{}/{}/r{}",
+            "{}/n{}/t{}/w{}{}/{}/{}/r{}",
             self.family,
             self.n,
             self.team_string(),
             self.wake,
+            topo,
             self.mode,
             self.variant,
             self.rep
@@ -61,10 +75,11 @@ impl ScenarioKey {
 
     /// The *instance* sub-key — family, size, team and repetition — naming
     /// the network instance while excluding the execution axes (wake
-    /// schedule, sensing mode, algorithm variant). Cells sharing this
-    /// sub-key run on the identical configuration: this string (not the
-    /// full key, and not the expansion index) feeds per-scenario seed
-    /// derivation.
+    /// schedule, dynamism, sensing mode, algorithm variant). Cells sharing
+    /// this sub-key run on the identical configuration: this string (not
+    /// the full key, and not the expansion index) feeds per-scenario seed
+    /// derivation, which is what makes a dynamic cell and its static twin
+    /// a differential pair over the same base graph.
     pub fn instance_canonical(&self) -> String {
         format!(
             "{}/n{}/t{}/r{}",
@@ -103,6 +118,10 @@ pub struct RunRecord {
     pub rounds: u64,
     /// Total edge traversals across all agents.
     pub moves: u64,
+    /// Move attempts blocked by an absent edge (always 0 on the static
+    /// topology; serialized only for dynamic cells so static reports stay
+    /// byte-identical to their pre-dynamism goldens).
+    pub blocked_moves: u64,
     /// Engine loop iterations actually executed (fast-forward excluded).
     pub engine_iterations: u64,
     /// Rounds skipped by the quiescence fast-forward.
@@ -172,6 +191,18 @@ pub fn trace_digest(trace: &Trace) -> u64 {
                 fnv_u64(&mut hash, to.index() as u64);
                 fnv_u64(&mut hash, port.index() as u64);
             }
+            TraceEvent::Blocked {
+                agent,
+                round,
+                node,
+                port,
+            } => {
+                fnv_u64(&mut hash, 4);
+                fnv_u64(&mut hash, agent.value());
+                fnv_u64(&mut hash, round);
+                fnv_u64(&mut hash, node.index() as u64);
+                fnv_u64(&mut hash, port.index() as u64);
+            }
             TraceEvent::Declare {
                 agent,
                 round,
@@ -202,6 +233,7 @@ mod tests {
             n: 6,
             team: vec![2, 3, 9],
             wake: "simul".into(),
+            topo: "static".into(),
             mode: "silent".into(),
             variant: "gather".into(),
             rep: 0,
@@ -212,6 +244,22 @@ mod tests {
     fn canonical_form_is_stable() {
         assert_eq!(key().canonical(), "ring/n6/t2.3.9/wsimul/silent/gather/r0");
         assert_eq!(key().to_string(), key().canonical());
+    }
+
+    #[test]
+    fn canonical_form_inserts_a_dynamism_segment_only_when_dynamic() {
+        // Static keys render exactly as before the dynamism axis existed —
+        // that is what keeps the golden smoke report byte-identical.
+        let mut k = key();
+        k.topo = "dring@7".into();
+        assert_eq!(
+            k.canonical(),
+            "ring/n6/t2.3.9/wsimul/dring@7/silent/gather/r0"
+        );
+        // The instance sub-key excludes the execution axes, dynamism
+        // included: a dynamic cell shares its seed (and graph) with its
+        // static twin.
+        assert_eq!(k.instance_canonical(), key().instance_canonical());
     }
 
     #[test]
@@ -240,10 +288,17 @@ mod tests {
         )
         .unwrap();
         let run = |schedule| {
-            harness::run_scenario(&cfg, CommMode::Silent, schedule, 7, Some(4096))
-                .unwrap()
-                .trace
-                .unwrap()
+            harness::run_scenario(
+                &cfg,
+                CommMode::Silent,
+                schedule,
+                &nochatter_sim::TopologySpec::Static,
+                7,
+                Some(4096),
+            )
+            .unwrap()
+            .trace
+            .unwrap()
         };
         let simul = run(WakeSchedule::Simultaneous);
         let first = run(WakeSchedule::FirstOnly);

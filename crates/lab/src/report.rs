@@ -14,7 +14,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use crate::record::RunRecord;
+use crate::record::{RunRecord, ScenarioKey};
 
 /// The collected result of one campaign run.
 #[derive(Clone, Debug)]
@@ -103,6 +103,19 @@ impl CampaignReport {
             .find(|r| r.key.canonical() == canonical_key)
     }
 
+    /// The record whose key equals `record`'s with `mutate` applied — the
+    /// twin along one execution axis (both run on the identical instance,
+    /// since seeds derive from the axis-independent instance sub-key).
+    fn twin_of(
+        &self,
+        record: &RunRecord,
+        mutate: impl FnOnce(&mut ScenarioKey),
+    ) -> Option<&RunRecord> {
+        let mut key = record.key.clone();
+        mutate(&mut key);
+        self.records.iter().find(|r| r.key == key)
+    }
+
     /// Pairs every record in sensing mode `a` with its twin in mode `b` —
     /// the record whose key is identical except for the mode axis. Since
     /// seeds derive from the mode-independent instance sub-key, each pair
@@ -118,20 +131,44 @@ impl CampaignReport {
             .iter()
             .filter(|r| r.key.mode == a)
             .map(|ra| {
-                let mut key = ra.key.clone();
-                key.mode = b.to_string();
                 let rb = self
-                    .records
-                    .iter()
-                    .find(|r| r.key == key)
+                    .twin_of(ra, |key| key.mode = b.to_string())
                     .unwrap_or_else(|| panic!("no {b} twin for {}", ra.key));
                 (ra, rb)
             })
             .collect()
     }
 
+    /// Pairs every record with topology `a` with its twin under topology
+    /// `b` — the record whose key is identical except for the dynamism
+    /// axis. Seeds derive from the topology-independent instance sub-key,
+    /// so each pair ran on the identical base graph and exploration setup:
+    /// this is the lookup behind static-vs-dynamic differential
+    /// comparisons, exactly as [`CampaignReport::mode_pairs`] is for
+    /// silent-vs-talking.
+    ///
+    /// Unlike the mode axis, the dynamism axis is partial — matrix
+    /// expansion skips cells whose topology cannot run over the
+    /// instantiated graph (a dynamic ring over a star) — so records
+    /// without a `b` twin are skipped rather than treated as an error,
+    /// and the lookup is total in both directions.
+    pub fn topo_pairs(&self, a: &str, b: &str) -> Vec<(&RunRecord, &RunRecord)> {
+        self.records
+            .iter()
+            .filter(|r| r.key.topo == a)
+            .filter_map(|ra| {
+                self.twin_of(ra, |key| key.topo = b.to_string())
+                    .map(|rb| (ra, rb))
+            })
+            .collect()
+    }
+
     /// The deterministic JSON report: campaign identity plus one object per
     /// record, in key order. Identical for any worker count.
+    ///
+    /// Records of dynamic cells carry two extra fields (`"topo"` and
+    /// `"blocked_moves"`); static records keep the exact pre-dynamism
+    /// shape, so golden reports of static campaigns stay byte-identical.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
@@ -142,6 +179,17 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"records\": [");
         for (i, r) in self.records.iter().enumerate() {
             let comma = if i + 1 < self.records.len() { "," } else { "" };
+            // Dynamism fields appear only on dynamic records: static
+            // reports must stay byte-identical to their goldens.
+            let dynamism = if r.key.topo.is_empty() || r.key.topo == "static" {
+                String::new()
+            } else {
+                format!(
+                    ", \"topo\": \"{}\", \"blocked_moves\": {}",
+                    json_escape(&r.key.topo),
+                    r.blocked_moves
+                )
+            };
             let _ = writeln!(
                 out,
                 "    {{\"key\": \"{key}\", \"family\": \"{family}\", \"n\": {n}, \
@@ -151,7 +199,7 @@ impl CampaignReport {
                  \"rounds\": {rounds}, \"moves\": {moves}, \
                  \"engine_iterations\": {iters}, \"skipped_rounds\": {skipped}, \
                  \"max_colocation\": {coloc}, \"leader\": {leader}, \"node\": {node}, \
-                 \"size\": {size}, \"trace_digest\": {digest}}}{comma}",
+                 \"size\": {size}, \"trace_digest\": {digest}{dynamism}}}{comma}",
                 key = json_escape(&r.key.canonical()),
                 family = json_escape(&r.key.family),
                 n = r.key.n,
@@ -182,22 +230,30 @@ impl CampaignReport {
         out
     }
 
-    /// The deterministic CSV report (same fields as the JSON records).
+    /// The deterministic CSV report (same fields as the JSON records; the
+    /// tabular format carries the `topo` and `blocked_moves` columns for
+    /// every row — `static` / 0 on static cells).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "key,family,n,n_actual,team,wake,mode,variant,rep,seed,ok,status,rounds,moves,\
-             engine_iterations,skipped_rounds,max_colocation,leader,node,size,trace_digest\n",
+            "key,family,n,n_actual,team,wake,topo,mode,variant,rep,seed,ok,status,rounds,moves,\
+             blocked_moves,engine_iterations,skipped_rounds,max_colocation,leader,node,size,\
+             trace_digest\n",
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_escape(&r.key.canonical()),
                 csv_escape(&r.key.family),
                 r.key.n,
                 r.n_actual,
                 r.key.team_string(),
                 csv_escape(&r.key.wake),
+                csv_escape(if r.key.topo.is_empty() {
+                    "static"
+                } else {
+                    &r.key.topo
+                }),
                 csv_escape(&r.key.mode),
                 csv_escape(&r.key.variant),
                 r.key.rep,
@@ -206,6 +262,7 @@ impl CampaignReport {
                 csv_escape(&r.status),
                 r.rounds,
                 r.moves,
+                r.blocked_moves,
                 r.engine_iterations,
                 r.skipped_rounds,
                 r.max_colocation,
@@ -226,6 +283,7 @@ impl CampaignReport {
     pub fn trajectory_json(&self) -> String {
         let total_rounds: u64 = self.records.iter().map(|r| r.rounds).sum();
         let total_moves: u64 = self.records.iter().map(|r| r.moves).sum();
+        let total_blocked: u64 = self.records.iter().map(|r| r.blocked_moves).sum();
         let total_iters: u64 = self.records.iter().map(|r| r.engine_iterations).sum();
         let mut families: Vec<&str> = self.records.iter().map(|r| r.key.family.as_str()).collect();
         families.sort_unstable();
@@ -247,6 +305,7 @@ impl CampaignReport {
         );
         let _ = writeln!(out, "  \"total_rounds\": {total_rounds},");
         let _ = writeln!(out, "  \"total_moves\": {total_moves},");
+        let _ = writeln!(out, "  \"total_blocked_moves\": {total_blocked},");
         let _ = writeln!(out, "  \"total_engine_iterations\": {total_iters},");
         let _ = writeln!(out, "  \"workers\": {},", self.workers);
         let _ = writeln!(out, "  \"wall_ms\": {},", self.wall.as_millis());
@@ -360,6 +419,15 @@ mod tests {
             report.to_csv()
         );
         assert!(artifacts.trajectory.ends_with("BENCH_campaign.json"));
+    }
+
+    #[test]
+    fn topo_pairs_skips_records_without_a_twin() {
+        // A static-only report has no dynamic twins; the lookup must be
+        // total (empty), not a panic, in either direction.
+        let report = tiny_report();
+        assert!(report.topo_pairs("static", "dring@1").is_empty());
+        assert!(report.topo_pairs("dring@1", "static").is_empty());
     }
 
     #[test]

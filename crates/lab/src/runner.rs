@@ -111,6 +111,7 @@ pub fn execute_scenario_with_scratch(
         status: String::new(),
         rounds: 0,
         moves: 0,
+        blocked_moves: 0,
         engine_iterations: 0,
         skipped_rounds: 0,
         max_colocation: 0,
@@ -119,11 +120,34 @@ pub fn execute_scenario_with_scratch(
         size: None,
         trace_digest: None,
     };
+    // Only the gathering variant runs under round-varying topologies: the
+    // gossip and unknown-bound algorithms drive their own engines and are
+    // static-only by design. Reject their dynamic cells loudly instead of
+    // silently running them on the wrong model.
+    if !scenario.topo.is_static() && !matches!(scenario.kind, ScenarioKind::Gather) {
+        record.status = format!(
+            "unsupported: {} variant is static-only",
+            scenario.kind.variant_name()
+        );
+        return record;
+    }
+    // Matrix expansion skips incompatible cells, but explicit scenario
+    // lists (`Campaign::from_scenarios`) can still pair a topology with a
+    // graph it cannot run over — record that instead of panicking a
+    // worker thread in the provider's view constructor.
+    if !scenario.topo.compatible_with(scenario.cfg.graph()) {
+        record.status = format!(
+            "unsupported: topology {} cannot run over this graph",
+            scenario.key.topo
+        );
+        return record;
+    }
     let outcome = match &scenario.kind {
         ScenarioKind::Gather => harness::run_scenario_with_scratch(
             &scenario.cfg,
             scenario.mode,
             scenario.schedule.clone(),
+            &scenario.topo,
             scenario.seed,
             Some(TRACE_CAPACITY),
             scratch,
@@ -219,6 +243,7 @@ pub fn execute_scenario_with_scratch(
 fn fill_outcome(record: &mut RunRecord, outcome: &RunOutcome) {
     record.rounds = outcome.rounds;
     record.moves = outcome.total_moves;
+    record.blocked_moves = outcome.blocked_moves;
     record.engine_iterations = outcome.engine_iterations;
     record.skipped_rounds = outcome.skipped_rounds;
     record.max_colocation = outcome.max_colocation;
@@ -301,6 +326,7 @@ mod tests {
                 n: 3,
                 team: vec![1, 2],
                 wake: "simul".into(),
+                topo: "static".into(),
                 mode: "talking".into(),
                 variant: "unknown@1".into(),
                 rep: 0,
@@ -308,6 +334,7 @@ mod tests {
             cfg: spread(generators::ring(3), &[1, 2]).unwrap(),
             mode: CommMode::Talking,
             schedule: WakeSchedule::Simultaneous,
+            topo: nochatter_sim::TopologySpec::Static,
             kind: ScenarioKind::Unknown {
                 decoys: vec![],
                 est_mode: EstMode::Conservative,
@@ -317,6 +344,74 @@ mod tests {
         let record = execute_scenario(&scenario);
         assert!(!record.ok);
         assert!(record.status.contains("unsupported"), "{}", record.status);
+    }
+
+    #[test]
+    fn incompatible_topology_records_unsupported_instead_of_panicking() {
+        use crate::campaign::{spread, Scenario, ScenarioKind};
+        use crate::record::ScenarioKey;
+        use nochatter_graph::dynamic::DynamicRing;
+        use nochatter_graph::generators;
+
+        // A dynamic ring over a path: Matrix expansion would skip this
+        // cell, but an explicit scenario list can still construct it.
+        let topo = nochatter_sim::TopologySpec::Ring(DynamicRing { seed: 3 });
+        let scenario = Scenario {
+            key: ScenarioKey {
+                family: "path4".into(),
+                n: 4,
+                team: vec![1, 2],
+                wake: "simul".into(),
+                topo: topo.short_name(),
+                mode: "silent".into(),
+                variant: "gather".into(),
+                rep: 0,
+            },
+            cfg: spread(generators::path(4), &[1, 2]).unwrap(),
+            mode: CommMode::Silent,
+            schedule: WakeSchedule::Simultaneous,
+            topo,
+            kind: ScenarioKind::Gather,
+            seed: 1,
+        };
+        let record = execute_scenario(&scenario);
+        assert!(!record.ok);
+        assert!(
+            record.status.contains("cannot run over this graph"),
+            "{}",
+            record.status
+        );
+    }
+
+    #[test]
+    fn dynamic_cells_of_static_only_variants_are_rejected_not_mislabeled() {
+        use crate::campaign::{spread, PayloadScheme, Scenario, ScenarioKind};
+        use crate::record::ScenarioKey;
+        use nochatter_graph::dynamic::DynamicRing;
+        use nochatter_graph::generators;
+
+        let topo = nochatter_sim::TopologySpec::Ring(DynamicRing { seed: 3 });
+        let scenario = Scenario {
+            key: ScenarioKey {
+                family: "ring4".into(),
+                n: 4,
+                team: vec![1, 2],
+                wake: "simul".into(),
+                topo: topo.short_name(),
+                mode: "silent".into(),
+                variant: "gossip-u2".into(),
+                rep: 0,
+            },
+            cfg: spread(generators::ring(4), &[1, 2]).unwrap(),
+            mode: CommMode::Silent,
+            schedule: WakeSchedule::Simultaneous,
+            topo,
+            kind: ScenarioKind::Gossip(PayloadScheme::Uniform { len: 2 }),
+            seed: 1,
+        };
+        let record = execute_scenario(&scenario);
+        assert!(!record.ok);
+        assert!(record.status.contains("static-only"), "{}", record.status);
     }
 
     #[test]
@@ -333,6 +428,7 @@ mod tests {
             n: 3,
             team: vec![1, 2],
             wake: "simul".into(),
+            topo: "static".into(),
             mode: "silent".into(),
             variant: "unknown@2".into(),
             rep: 0,
@@ -343,6 +439,7 @@ mod tests {
             cfg: truth,
             mode: CommMode::Silent,
             schedule: WakeSchedule::Simultaneous,
+            topo: nochatter_sim::TopologySpec::Static,
             kind: ScenarioKind::Unknown {
                 decoys: vec![decoy],
                 est_mode: EstMode::Conservative,

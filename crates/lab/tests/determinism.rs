@@ -5,9 +5,10 @@
 use proptest::prelude::*;
 
 use nochatter_core::CommMode;
+use nochatter_graph::dynamic::{DynamicRing, SeededEdgeFailure};
 use nochatter_graph::generators::Family;
 use nochatter_lab::{run_campaign, Campaign, Matrix, PayloadScheme, ScenarioKind};
-use nochatter_sim::WakeSchedule;
+use nochatter_sim::{TopologySpec, WakeSchedule};
 
 fn matrix_strategy() -> impl Strategy<Value = (Matrix, u64)> {
     (
@@ -16,61 +17,73 @@ fn matrix_strategy() -> impl Strategy<Value = (Matrix, u64)> {
             proptest::collection::vec(4u32..7, 1..3),
         ),
         0u64..3,
-        any::<bool>(),
+        (any::<bool>(), any::<bool>()),
         any::<bool>(),
         1u64..3,
         any::<u64>(),
     )
-        .prop_map(|((families, sizes), sched, talking, gossip, reps, seed)| {
-            let all = [
-                Family::Ring,
-                Family::Path,
-                Family::Star,
-                Family::Grid,
-                Family::RandomTree,
-                Family::RandomConnected,
-            ];
-            let mut fams: Vec<Family> = families.iter().map(|&i| all[i]).collect();
-            fams.sort_by_key(|f| f.name());
-            fams.dedup();
-            let mut sizes = sizes;
-            sizes.sort_unstable();
-            sizes.dedup();
-            let schedules = match sched {
-                0 => vec![WakeSchedule::Simultaneous],
-                1 => vec![WakeSchedule::FirstOnly],
-                _ => vec![
-                    WakeSchedule::Simultaneous,
-                    WakeSchedule::Staggered { gap: 4 },
-                ],
-            };
-            let modes = if talking {
-                vec![CommMode::Silent, CommMode::Talking]
-            } else {
-                vec![CommMode::Silent]
-            };
-            let kinds = if gossip {
-                vec![
-                    ScenarioKind::Gather,
-                    ScenarioKind::Gossip(PayloadScheme::Uniform { len: 2 }),
-                ]
-            } else {
-                vec![ScenarioKind::Gather]
-            };
-            (
-                Matrix {
-                    families: fams,
-                    sizes,
-                    teams: vec![vec![2, 3]],
-                    schedules,
-                    modes,
-                    kinds,
-                    reps,
-                    shuffled_ports: false,
-                },
-                seed,
-            )
-        })
+        .prop_map(
+            |((families, sizes), sched, (talking, dynamic), gossip, reps, seed)| {
+                let all = [
+                    Family::Ring,
+                    Family::Path,
+                    Family::Star,
+                    Family::Grid,
+                    Family::RandomTree,
+                    Family::RandomConnected,
+                ];
+                let mut fams: Vec<Family> = families.iter().map(|&i| all[i]).collect();
+                fams.sort_by_key(|f| f.name());
+                fams.dedup();
+                let mut sizes = sizes;
+                sizes.sort_unstable();
+                sizes.dedup();
+                let schedules = match sched {
+                    0 => vec![WakeSchedule::Simultaneous],
+                    1 => vec![WakeSchedule::FirstOnly],
+                    _ => vec![
+                        WakeSchedule::Simultaneous,
+                        WakeSchedule::Staggered { gap: 4 },
+                    ],
+                };
+                let modes = if talking {
+                    vec![CommMode::Silent, CommMode::Talking]
+                } else {
+                    vec![CommMode::Silent]
+                };
+                let kinds = if gossip {
+                    vec![
+                        ScenarioKind::Gather,
+                        ScenarioKind::Gossip(PayloadScheme::Uniform { len: 2 }),
+                    ]
+                } else {
+                    vec![ScenarioKind::Gather]
+                };
+                let topologies = if dynamic {
+                    vec![
+                        TopologySpec::Static,
+                        TopologySpec::EdgeFailure(SeededEdgeFailure { p: 0.2, seed: 7 }),
+                        TopologySpec::Ring(DynamicRing { seed: 7 }),
+                    ]
+                } else {
+                    vec![TopologySpec::Static]
+                };
+                (
+                    Matrix {
+                        families: fams,
+                        sizes,
+                        teams: vec![vec![2, 3]],
+                        schedules,
+                        topologies,
+                        modes,
+                        kinds,
+                        reps,
+                        shuffled_ports: false,
+                    },
+                    seed,
+                )
+            },
+        )
 }
 
 fn build(matrix: &Matrix, seed: u64) -> Campaign {

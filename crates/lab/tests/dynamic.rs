@@ -1,0 +1,148 @@
+//! Differential testing of the dynamic-graph scenario axis: the gathering
+//! algorithm on 1-interval-connected dynamic rings (the DR1 campaign, à la
+//! *Gathering in Dynamic Rings*, Di Luna et al.) against its static twins.
+//!
+//! Every dynamic cell shares its derived seed — and with it the base ring
+//! and the exploration setup — with a static twin in the same report, so
+//! these are comparisons of identical instances under different
+//! adversaries. What the suite pins:
+//!
+//! * the static control column is untouched by the new axis (all cells
+//!   gather, zero blocked moves);
+//! * gathering **still succeeds** on dynamic rings where the adversary
+//!   removes one edge per round — on every talking-mode cell and on a
+//!   pinned set of silent-mode cells — and every dynamic cell pays a
+//!   positive blocked-move count that the campaign report surfaces;
+//! * where the silent algorithm does *not* survive the adversary, the
+//!   failure is recorded honestly (a validation error, never a panic or an
+//!   engine error) — the paper's timing-based meeting inference is built
+//!   for static networks, and the campaign quantifies exactly where that
+//!   assumption bites.
+
+use nochatter_lab::{presets, run_campaign, CampaignReport};
+
+fn dr1_report() -> CampaignReport {
+    run_campaign(&presets::dr1_campaign(true), 0)
+}
+
+#[test]
+fn static_twins_are_a_clean_control_column() {
+    let report = dr1_report();
+    for r in &report.records {
+        if r.key.topo == "static" {
+            assert!(r.ok, "static control {} failed: {}", r.key, r.status);
+            assert_eq!(r.blocked_moves, 0, "{} blocked on a static ring", r.key);
+        }
+    }
+}
+
+#[test]
+fn gathering_survives_the_dynamic_ring_adversary() {
+    let report = dr1_report();
+    let dynamic: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.key.topo.starts_with("dring"))
+        .collect();
+    assert!(!dynamic.is_empty(), "DR1 must contain dynamic-ring cells");
+    let mut silent_ok = 0usize;
+    for r in &dynamic {
+        // The adversary removes one edge per round, so a full run cannot
+        // avoid it: every dynamic cell must have paid blocked moves, and
+        // the count must be surfaced in the record.
+        assert!(r.blocked_moves > 0, "{} never hit the adversary", r.key);
+        if r.key.mode == "talking" {
+            // The talking baseline sees labels when agents meet, so its
+            // meeting detection does not depend on exact phase timing:
+            // it survives the adversary on every DR1 cell.
+            assert!(r.ok, "talking cell {} failed: {}", r.key, r.status);
+        } else if r.ok {
+            silent_ok += 1;
+            assert_eq!(r.status, "gathered");
+        } else {
+            // An honest failure: the run completed and validation named
+            // the violated requirement. Never an engine error or a crash.
+            assert!(
+                !r.status.starts_with("engine error"),
+                "{}: {}",
+                r.key,
+                r.status
+            );
+        }
+    }
+    // The silent algorithm — with EXPLO retrying blocked traversals —
+    // still gathers on a substantial set of dynamic rings. Pinned floor
+    // from the recorded run (7/8 silent cells at the quick sizes would be
+    // flaky to pin exactly; at least one is a hard guarantee, and the
+    // specific witness below is pinned in full).
+    assert!(
+        silent_ok >= 1,
+        "no silent-mode cell gathered on the dynamic ring"
+    );
+    // The pinned witness: 3 agents on the 4-ring, first-only wake-up.
+    let witness = report
+        .record("ring/n4/t3.5.9/wfirst/dring@53710/silent/gather/r0")
+        .expect("witness cell exists");
+    assert!(
+        witness.ok,
+        "pinned witness stopped gathering: {}",
+        witness.status
+    );
+    assert!(witness.blocked_moves > 0);
+}
+
+#[test]
+fn blocked_moves_are_surfaced_in_the_reports() {
+    let report = dr1_report();
+    let json = report.to_json();
+    // Dynamic records carry the dynamism fields...
+    assert!(json.contains("\"topo\": \"dring@53710\""));
+    assert!(json.contains("\"blocked_moves\": "));
+    // ...static records keep the exact pre-dynamism shape (this is the
+    // same rule that keeps the golden smoke report byte-identical).
+    for line in json.lines() {
+        if line.contains("\"topo\": \"static\"") {
+            panic!("static records must not serialize a topo field: {line}");
+        }
+    }
+    // The CSV carries the columns for every row.
+    let csv = report.to_csv();
+    assert!(csv.lines().next().unwrap().contains("topo"));
+    assert!(csv.lines().next().unwrap().contains("blocked_moves"));
+    // The trajectory aggregates the total.
+    let total: u64 = report.records.iter().map(|r| r.blocked_moves).sum();
+    assert!(total > 0);
+    assert!(report
+        .trajectory_json()
+        .contains(&format!("\"total_blocked_moves\": {total}")));
+}
+
+#[test]
+fn dynamic_cells_pair_with_their_static_twins() {
+    let report = dr1_report();
+    let pairs = report.topo_pairs("dring@53710", "static");
+    assert!(!pairs.is_empty());
+    for (dynamic, twin) in &pairs {
+        assert_eq!(dynamic.seed, twin.seed, "twins share the derived seed");
+        assert_eq!(dynamic.n_actual, twin.n_actual);
+        assert_eq!(twin.blocked_moves, 0);
+    }
+    // Deliberately *no* round-count ordering here: a blocked EXPLO shifts
+    // the phase alignment between agents, and (exactly as the
+    // silent-vs-talking suite documents for the communication axis) the
+    // shifted execution sometimes reaches the decisive meeting *earlier*
+    // than the unperturbed one — per instance and even in aggregate over
+    // the cells where both twins gather, since the silent survivors are a
+    // biased sample. The robust differential facts are structural: same
+    // seed, same base ring, blocked moves only under the adversary.
+}
+
+#[test]
+fn dynamic_campaigns_are_deterministic_across_worker_counts() {
+    let campaign = presets::dr1_campaign(true);
+    let one = run_campaign(&campaign, 1);
+    let four = run_campaign(&campaign, 4);
+    assert_eq!(one.records, four.records);
+    assert_eq!(one.to_json(), four.to_json());
+    assert_eq!(one.to_csv(), four.to_csv());
+}

@@ -1,5 +1,6 @@
 //! The deterministic synchronous execution engine.
 
+use nochatter_graph::dynamic::{Static, Topology, TopologyView};
 use nochatter_graph::{Graph, Label, NodeId};
 
 use crate::behavior::{AgentAct, AgentBehavior};
@@ -26,6 +27,10 @@ struct AgentState {
     pos: NodeId,
     awake: bool,
     just_woken: bool,
+    /// The agent's previous move attempt hit an absent edge (round-varying
+    /// topologies only); reported through the next observation, then
+    /// cleared.
+    blocked: bool,
     entry_port: Option<nochatter_graph::Port>,
     declared: Option<DeclarationRecord>,
     adversary_wake: u64,
@@ -40,7 +45,7 @@ struct AgentState {
 /// capacity, so steady-state execution allocates nothing.
 ///
 /// The scratch carries no semantic state between runs: a run leaves its
-/// dirt behind and the next [`EngineScratch::prepare`] clears exactly the
+/// dirt behind and the next run's internal `prepare` clears exactly the
 /// entries the previous run touched. Reusing one scratch across graphs of
 /// different sizes, after failed runs, or across sensing modes is always
 /// safe — [`Engine::run`] and [`Engine::run_with_scratch`] produce bitwise
@@ -50,10 +55,10 @@ pub struct EngineScratch {
     /// Per-node occupant count (`CurCard` per node). All-zero outside the
     /// occupancy phase except for nodes listed in `touched`.
     card: Vec<u32>,
-    /// Per-node bucket of agent indices present this round, in increasing
+    /// Per-node bucket of the labels present this round, in increasing
     /// agent order. Empty outside the occupancy phase except for `touched`
     /// nodes.
-    occupants: Vec<Vec<u32>>,
+    occupants: Vec<Vec<Label>>,
     /// The nodes with at least one agent this round — the only entries of
     /// `card`/`occupants` that need clearing, so the per-round wipe is
     /// O(k), not O(n).
@@ -96,9 +101,20 @@ impl EngineScratch {
 /// wake schedule and sensing mode, then [`Engine::run`]. The engine is fully
 /// deterministic: identical inputs produce identical runs, bit for bit.
 ///
+/// The engine is generic over a [`TopologyView`]: every round, move
+/// resolution consults the view before traversing an edge, so the same
+/// loop executes static networks and round-varying ones (periodic outages,
+/// seeded edge failures, the dynamic-ring adversary — see
+/// [`nochatter_graph::dynamic`]). The default [`Static`] view answers a
+/// constant `true` that the optimizer folds away: [`Engine::new`] compiles
+/// to exactly the pre-dynamic code. An agent taking a port whose edge is
+/// absent this round stays put, keeps its entry port, and sees
+/// `blocked: true` in its next [`Obs`].
+///
 /// See the [crate docs](crate) for a complete example.
-pub struct Engine<'g> {
+pub struct Engine<'g, V: TopologyView = Static> {
     graph: &'g Graph,
+    view: V,
     agents: Vec<AgentState>,
     schedule: WakeSchedule,
     sensing: Sensing,
@@ -106,11 +122,21 @@ pub struct Engine<'g> {
 }
 
 impl<'g> Engine<'g> {
-    /// A fresh engine over `graph` with no agents, simultaneous wake-up and
-    /// weak sensing.
+    /// A fresh engine over the static `graph` with no agents, simultaneous
+    /// wake-up and weak sensing.
     pub fn new(graph: &'g Graph) -> Self {
+        Engine::with_topology(graph, &Static)
+    }
+}
+
+impl<'g, V: TopologyView> Engine<'g, V> {
+    /// A fresh engine over `graph` under a round-varying topology: the
+    /// provider's [`TopologyView`] decides, per round, which edges of the
+    /// base graph are present.
+    pub fn with_topology<T: Topology<View = V>>(graph: &'g Graph, topology: &T) -> Self {
         Engine {
             graph,
+            view: topology.view(graph),
             agents: Vec::new(),
             schedule: WakeSchedule::Simultaneous,
             sensing: Sensing::Weak,
@@ -126,6 +152,7 @@ impl<'g> Engine<'g> {
             pos: start,
             awake: false,
             just_woken: false,
+            blocked: false,
             entry_port: None,
             declared: None,
             adversary_wake: u64::MAX,
@@ -220,7 +247,7 @@ impl<'g> Engine<'g> {
         let wake = self
             .schedule
             .wake_rounds(self.agents.len())
-            .ok_or(SimError::BadWakeSchedule)?;
+            .map_err(|reason| SimError::BadWakeSchedule { reason })?;
         for (agent, round) in self.agents.iter_mut().zip(wake) {
             agent.adversary_wake = round;
         }
@@ -269,6 +296,7 @@ impl<'g> Engine<'g> {
         // observation; the silent model pays nothing for them.
         let bucket_occupants = self.sensing == Sensing::Traditional;
         let mut total_moves = 0u64;
+        let mut blocked_moves = 0u64;
         let mut engine_iterations = 0u64;
         let mut skipped_rounds = 0u64;
         let mut max_colocation = 0u32;
@@ -277,6 +305,11 @@ impl<'g> Engine<'g> {
 
         while round < max_rounds {
             engine_iterations += 1;
+            // Advance the topology to this round. Fast-forwarded rounds are
+            // skipped soundly: a view is a pure function of the round
+            // number, and edge presence is unobservable in a round where
+            // every active agent waits.
+            self.view.begin_round(round);
 
             // 1. Adversary wake-ups scheduled for this round.
             for a in &mut self.agents {
@@ -297,14 +330,14 @@ impl<'g> Engine<'g> {
             // the ≤ k occupied nodes are bucketed and recorded in
             // `touched`; the end-of-round wipe clears exactly those, so no
             // phase of the loop scans all n nodes.
-            for (i, a) in self.agents.iter().enumerate() {
+            for a in &self.agents {
                 let node = a.pos.index();
                 if card[node] == 0 {
                     touched.push(node as u32);
                 }
                 card[node] += 1;
                 if bucket_occupants {
-                    occupants[node].push(i as u32);
+                    occupants[node].push(a.label);
                 }
             }
             for &node in touched.iter() {
@@ -336,10 +369,8 @@ impl<'g> Engine<'g> {
             // observations are computed from the same positions).
             let mut all_waited = true;
             let mut any_active = false;
-            #[allow(clippy::needless_range_loop)] // acts and agents are co-indexed
-            for i in 0..self.agents.len() {
-                acts[i] = None;
-                let a = &self.agents[i];
+            for (slot, a) in acts.iter_mut().zip(self.agents.iter_mut()) {
+                *slot = None;
                 if !a.awake || a.declared.is_some() {
                     continue;
                 }
@@ -351,11 +382,7 @@ impl<'g> Engine<'g> {
                         // order; fill and sort the one scratch buffer, and
                         // lend it to the observation instead of allocating.
                         labels.clear();
-                        labels.extend(
-                            occupants[a.pos.index()]
-                                .iter()
-                                .map(|&j| self.agents[j as usize].label),
-                        );
+                        labels.extend_from_slice(&occupants[a.pos.index()]);
                         labels.sort_unstable();
                         Some(std::mem::take(labels))
                     }
@@ -366,29 +393,47 @@ impl<'g> Engine<'g> {
                     cur_card: card[a.pos.index()],
                     entry_port: a.entry_port,
                     just_woken: a.just_woken,
+                    blocked: a.blocked,
                     peer_labels,
                 };
-                let act = self.agents[i].behavior.on_round(&obs);
+                let act = a.behavior.on_round(&obs);
                 // Reclaim the lent label buffer (and its capacity).
                 if let Some(buf) = obs.peer_labels.take() {
                     *labels = buf;
                 }
-                self.agents[i].just_woken = false;
+                a.just_woken = false;
+                a.blocked = false;
                 if !matches!(act, AgentAct::Wait) {
                     all_waited = false;
                 }
-                acts[i] = Some(act);
+                *slot = Some(act);
             }
 
             // 5. Apply actions simultaneously.
-            #[allow(clippy::needless_range_loop)] // acts and agents are co-indexed
-            for i in 0..self.agents.len() {
-                let Some(act) = acts[i] else { continue };
+            for (act, a) in acts.iter().zip(self.agents.iter_mut()) {
+                let Some(act) = *act else { continue };
                 match act {
                     AgentAct::Wait => {}
                     AgentAct::TakePort(p) => {
-                        let a = &mut self.agents[i];
                         match self.graph.neighbor(a.pos, p) {
+                            // A port that exists in the base graph but whose
+                            // edge is absent this round blocks: the agent
+                            // stays put (entry port untouched) and its next
+                            // observation reports it. A nonexistent port is
+                            // still a protocol violation — dynamics never
+                            // change the degree an agent observes.
+                            Some(_) if !self.view.edge_present(a.pos, p) => {
+                                a.blocked = true;
+                                blocked_moves += 1;
+                                if let Some(t) = trace.as_mut() {
+                                    t.push(TraceEvent::Blocked {
+                                        agent: a.label,
+                                        round,
+                                        node: a.pos,
+                                        port: p,
+                                    });
+                                }
+                            }
                             Some((to, back)) => {
                                 if let Some(t) = trace.as_mut() {
                                     t.push(TraceEvent::Move {
@@ -414,7 +459,6 @@ impl<'g> Engine<'g> {
                         }
                     }
                     AgentAct::Declare(d) => {
-                        let a = &mut self.agents[i];
                         a.declared = Some(DeclarationRecord {
                             round,
                             node: a.pos,
@@ -446,6 +490,7 @@ impl<'g> Engine<'g> {
                     RunStatus::AllDeclared,
                     last_declaration_round,
                     total_moves,
+                    blocked_moves,
                     engine_iterations,
                     skipped_rounds,
                     max_colocation,
@@ -490,6 +535,7 @@ impl<'g> Engine<'g> {
             RunStatus::RoundLimit,
             max_rounds,
             total_moves,
+            blocked_moves,
             engine_iterations,
             skipped_rounds,
             max_colocation,
@@ -503,6 +549,7 @@ impl<'g> Engine<'g> {
         status: RunStatus,
         rounds: u64,
         total_moves: u64,
+        blocked_moves: u64,
         engine_iterations: u64,
         skipped_rounds: u64,
         max_colocation: u32,
@@ -513,6 +560,7 @@ impl<'g> Engine<'g> {
             rounds,
             declarations: self.agents.iter().map(|a| (a.label, a.declared)).collect(),
             total_moves,
+            blocked_moves,
             engine_iterations,
             skipped_rounds,
             max_colocation,
@@ -894,6 +942,171 @@ mod tests {
         assert!(outcome.declarations[0].1.is_some());
         assert!(outcome.declarations[1].1.is_none());
         assert!(outcome.gathering().is_err());
+    }
+
+    /// A test topology that blocks every edge before round `until` and
+    /// none from then on.
+    #[derive(Clone, Copy)]
+    struct BlockedUntil {
+        until: u64,
+    }
+    struct BlockedUntilView {
+        until: u64,
+        round: u64,
+    }
+    impl TopologyView for BlockedUntilView {
+        fn begin_round(&mut self, round: u64) {
+            self.round = round;
+        }
+        fn edge_present(&self, _from: NodeId, _port: Port) -> bool {
+            self.round >= self.until
+        }
+    }
+    impl Topology for BlockedUntil {
+        type View = BlockedUntilView;
+        fn view(&self, _graph: &Graph) -> BlockedUntilView {
+            BlockedUntilView {
+                until: self.until,
+                round: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_moves_stay_put_and_report() {
+        // The agent attempts port 1 every round; rounds 0..3 are blocked.
+        // It must stay on its start node, keep `entry_port: None`, observe
+        // `blocked: true` in rounds 1..=3 (the observation after each
+        // blocked attempt), and cross only in round 3.
+        struct AssertBlockedSequence;
+        impl AgentBehavior for AssertBlockedSequence {
+            fn on_round(&mut self, obs: &Obs) -> AgentAct {
+                assert_eq!(
+                    obs.blocked,
+                    (1..=3).contains(&obs.round),
+                    "round {}",
+                    obs.round
+                );
+                if obs.blocked {
+                    // A blocked agent never moved: entry port unchanged.
+                    assert_eq!(obs.entry_port, None);
+                }
+                if obs.round == 4 {
+                    assert_eq!(obs.entry_port, Some(Port::new(0)), "the move succeeded");
+                    return AgentAct::Declare(Declaration::bare());
+                }
+                AgentAct::TakePort(Port::new(1))
+            }
+        }
+        let g = generators::ring(4);
+        let mut engine = Engine::with_topology(&g, &BlockedUntil { until: 3 });
+        engine.add_agent(label(1), NodeId::new(0), Box::new(AssertBlockedSequence));
+        engine.record_trace(64);
+        let outcome = engine.run(10).unwrap();
+        assert!(outcome.all_declared());
+        assert_eq!(outcome.total_moves, 1);
+        assert_eq!(outcome.blocked_moves, 3);
+        let trace = outcome.trace.as_ref().unwrap();
+        let blocked: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Blocked {
+                    round, node, port, ..
+                } => {
+                    assert_eq!(*node, NodeId::new(0));
+                    assert_eq!(*port, Port::new(1));
+                    Some(*round)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(blocked, vec![0, 1, 2]);
+        assert_eq!(outcome.declarations[0].1.unwrap().node, NodeId::new(1));
+    }
+
+    #[test]
+    fn absent_edge_does_not_mask_invalid_ports() {
+        // Even under a topology that blocks everything, a nonexistent port
+        // is a protocol violation, not a blocked move: dynamics never
+        // change the degree an agent observes.
+        struct BadPort;
+        impl Procedure for BadPort {
+            type Output = ();
+            fn poll(&mut self, _obs: &Obs) -> Poll<()> {
+                Poll::Yield(Action::TakePort(Port::new(99)))
+            }
+        }
+        let g = generators::ring(4);
+        let mut engine = Engine::with_topology(&g, &BlockedUntil { until: u64::MAX });
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(BadPort)),
+        );
+        assert!(matches!(engine.run(10), Err(SimError::InvalidPort { .. })));
+    }
+
+    #[test]
+    fn static_runs_never_block() {
+        let g = generators::ring(5);
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(RunFor5Moves::default())),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(2),
+            Box::new(ProcBehavior::declaring(DeclareOnCompany)),
+        );
+        let outcome = engine.run(100).unwrap();
+        assert_eq!(outcome.blocked_moves, 0);
+    }
+
+    #[test]
+    fn trace_capacity_overflow_counts_drops_and_keeps_the_earliest_events() {
+        // Two walkers generate a steady stream of events; a run with a
+        // tiny trace capacity must retain exactly the earliest events of
+        // the identical unbounded run and count every later one as
+        // dropped.
+        let run_with_capacity = |capacity: usize| {
+            let g = generators::ring(6);
+            let mut engine = Engine::new(&g);
+            for (l, pos) in [(1u64, 0u32), (2, 3)] {
+                engine.add_agent(
+                    label(l),
+                    NodeId::new(pos),
+                    Box::new(ProcBehavior::declaring(RunFor5Moves::default())),
+                );
+            }
+            engine.record_trace(capacity);
+            engine.run(100).unwrap()
+        };
+        let full = run_with_capacity(1 << 10);
+        let full_trace = full.trace.as_ref().unwrap();
+        assert_eq!(full_trace.dropped(), 0);
+        assert!(
+            full_trace.events().len() > 4,
+            "need enough events to overflow a capacity of 4"
+        );
+        let small = run_with_capacity(4);
+        let small_trace = small.trace.as_ref().unwrap();
+        assert_eq!(small_trace.events().len(), 4);
+        assert_eq!(
+            small_trace.events(),
+            &full_trace.events()[..4],
+            "retained events must be the earliest ones, in order"
+        );
+        assert_eq!(
+            small_trace.dropped(),
+            (full_trace.events().len() - 4) as u64
+        );
+        // The truncation is a recording concern only: the run itself is
+        // unchanged.
+        assert_eq!(small.rounds, full.rounds);
+        assert_eq!(small.total_moves, full.total_moves);
     }
 
     #[test]

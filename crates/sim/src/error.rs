@@ -5,6 +5,8 @@ use std::fmt;
 
 use nochatter_graph::{Label, NodeId, Port};
 
+use crate::schedule::ScheduleError;
+
 /// A protocol violation or setup error detected by the engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -39,9 +41,12 @@ pub enum SimError {
         /// The round of the attempt.
         round: u64,
     },
-    /// The wake schedule produced no wake at round 0 (time is measured from
-    /// the first wake-up) or too few entries.
-    BadWakeSchedule,
+    /// The wake schedule is malformed for the team (no wake at round 0 —
+    /// time is measured from the first wake-up — or the wrong length).
+    BadWakeSchedule {
+        /// The specific malformation.
+        reason: ScheduleError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -66,8 +71,8 @@ impl fmt::Display for SimError {
                 f,
                 "agent {agent} took nonexistent port {port} at {node} in round {round}"
             ),
-            SimError::BadWakeSchedule => {
-                write!(f, "wake schedule must wake some agent at round 0")
+            SimError::BadWakeSchedule { reason } => {
+                write!(f, "bad wake schedule: {reason}")
             }
         }
     }

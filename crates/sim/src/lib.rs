@@ -69,5 +69,9 @@ pub use error::SimError;
 pub use obs::{Action, Obs, Poll};
 pub use outcome::{DeclarationRecord, GatheringReport, RunOutcome, RunStatus, ValidationError};
 pub use proc::Procedure;
-pub use schedule::WakeSchedule;
+pub use schedule::{ScheduleError, WakeSchedule};
 pub use trace::{Trace, TraceEvent};
+
+// The engine is generic over the round-varying topology abstraction of
+// `nochatter_graph::dynamic`; re-export the names engine users need.
+pub use nochatter_graph::dynamic::{SpecView, Static, Topology, TopologySpec, TopologyView};

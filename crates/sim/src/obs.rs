@@ -23,6 +23,11 @@ pub struct Obs {
     pub entry_port: Option<Port>,
     /// True exactly on the first observation after the agent wakes.
     pub just_woken: bool,
+    /// True exactly on the first observation after a move attempt hit an
+    /// edge absent in that round (round-varying topologies only — see
+    /// [`nochatter_graph::dynamic`]). The agent stayed put and its entry
+    /// port is unchanged. Always false on a static topology.
+    pub blocked: bool,
     /// Labels of all co-located agents (including self), sorted; only under
     /// traditional sensing. Always `None` in the paper's weak model.
     pub peer_labels: Option<Vec<Label>>,
@@ -37,6 +42,7 @@ impl Obs {
             cur_card,
             entry_port,
             just_woken: round == 0,
+            blocked: false,
             peer_labels: None,
         }
     }

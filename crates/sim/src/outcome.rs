@@ -40,6 +40,10 @@ pub struct RunOutcome {
     pub declarations: Vec<(Label, Option<DeclarationRecord>)>,
     /// Total edge traversals performed by all agents.
     pub total_moves: u64,
+    /// Move attempts that hit an edge absent in their round (round-varying
+    /// topologies only; always 0 on a static topology). Blocked attempts
+    /// are not counted in [`RunOutcome::total_moves`].
+    pub blocked_moves: u64,
     /// Rounds actually executed by the engine loop (excluding fast-forwarded
     /// ones); a cost metric for the simulator itself.
     pub engine_iterations: u64,
@@ -226,6 +230,7 @@ mod tests {
             rounds: 10,
             declarations,
             total_moves: 0,
+            blocked_moves: 0,
             engine_iterations: 0,
             skipped_rounds: 0,
             max_colocation: 2,

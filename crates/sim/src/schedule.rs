@@ -1,5 +1,42 @@
 //! Adversarial wake-up schedules.
 
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`WakeSchedule`] is malformed for a given team size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// An explicit schedule's length does not match the team size (this
+    /// also covers the degenerate zero-agent team, whose schedule cannot
+    /// wake anyone).
+    WrongLength {
+        /// The team size the schedule was asked for.
+        expected: usize,
+        /// How many wake rounds the schedule actually provides.
+        got: usize,
+    },
+    /// No agent wakes at round 0 — time is measured from the first
+    /// wake-up, so some entry must be 0.
+    NoRoundZeroWake,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongLength { expected, got } => write!(
+                f,
+                "schedule provides {got} wake rounds for {expected} agent(s)"
+            ),
+            ScheduleError::NoRoundZeroWake => {
+                write!(f, "no agent wakes at round 0")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
 /// When the adversary wakes each agent.
 ///
 /// Rounds are measured from the first wake-up (round 0). Agents not woken by
@@ -31,9 +68,10 @@ impl WakeSchedule {
     ///
     /// # Errors
     ///
-    /// Returns `None` if the schedule is malformed for `k` agents (no wake
-    /// at round 0, or wrong length).
-    pub fn wake_rounds(&self, k: usize) -> Option<Vec<u64>> {
+    /// Returns a [`ScheduleError`] describing why the schedule is
+    /// malformed for `k` agents: an explicit list of the wrong length, or
+    /// no wake at round 0 (which any schedule for zero agents implies).
+    pub fn wake_rounds(&self, k: usize) -> Result<Vec<u64>, ScheduleError> {
         let rounds = match self {
             WakeSchedule::Simultaneous => vec![0; k],
             WakeSchedule::FirstOnly => {
@@ -48,15 +86,18 @@ impl WakeSchedule {
             }
             WakeSchedule::Explicit(v) => {
                 if v.len() != k {
-                    return None;
+                    return Err(ScheduleError::WrongLength {
+                        expected: k,
+                        got: v.len(),
+                    });
                 }
                 v.clone()
             }
         };
-        if rounds.is_empty() || !rounds.contains(&0) {
-            return None;
+        if !rounds.contains(&0) {
+            return Err(ScheduleError::NoRoundZeroWake);
         }
-        Some(rounds)
+        Ok(rounds)
     }
 }
 
@@ -66,17 +107,14 @@ mod tests {
 
     #[test]
     fn simultaneous_all_zero() {
-        assert_eq!(
-            WakeSchedule::Simultaneous.wake_rounds(3),
-            Some(vec![0, 0, 0])
-        );
+        assert_eq!(WakeSchedule::Simultaneous.wake_rounds(3), Ok(vec![0, 0, 0]));
     }
 
     #[test]
     fn first_only_leaves_rest_dormant() {
         assert_eq!(
             WakeSchedule::FirstOnly.wake_rounds(3),
-            Some(vec![0, u64::MAX, u64::MAX])
+            Ok(vec![0, u64::MAX, u64::MAX])
         );
     }
 
@@ -84,7 +122,7 @@ mod tests {
     fn staggered_spacing() {
         assert_eq!(
             WakeSchedule::Staggered { gap: 5 }.wake_rounds(3),
-            Some(vec![0, 5, 10])
+            Ok(vec![0, 5, 10])
         );
     }
 
@@ -92,14 +130,41 @@ mod tests {
     fn explicit_requires_matching_len_and_zero() {
         assert_eq!(
             WakeSchedule::Explicit(vec![0, 7]).wake_rounds(2),
-            Some(vec![0, 7])
+            Ok(vec![0, 7])
         );
-        assert_eq!(WakeSchedule::Explicit(vec![0, 7]).wake_rounds(3), None);
-        assert_eq!(WakeSchedule::Explicit(vec![1, 7]).wake_rounds(2), None);
+        assert_eq!(
+            WakeSchedule::Explicit(vec![0, 7]).wake_rounds(3),
+            Err(ScheduleError::WrongLength {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            WakeSchedule::Explicit(vec![1, 7]).wake_rounds(2),
+            Err(ScheduleError::NoRoundZeroWake)
+        );
     }
 
     #[test]
     fn zero_agents_is_malformed() {
-        assert_eq!(WakeSchedule::Simultaneous.wake_rounds(0), None);
+        assert_eq!(
+            WakeSchedule::Simultaneous.wake_rounds(0),
+            Err(ScheduleError::NoRoundZeroWake)
+        );
+    }
+
+    #[test]
+    fn schedule_errors_render() {
+        assert_eq!(
+            ScheduleError::WrongLength {
+                expected: 3,
+                got: 2
+            }
+            .to_string(),
+            "schedule provides 2 wake rounds for 3 agent(s)"
+        );
+        assert!(ScheduleError::NoRoundZeroWake
+            .to_string()
+            .contains("round 0"));
     }
 }

@@ -30,6 +30,18 @@ pub enum TraceEvent {
         /// The port taken at `from`.
         port: Port,
     },
+    /// An agent's move attempt hit an edge absent in that round
+    /// (round-varying topologies only); it stayed put.
+    Blocked {
+        /// The agent.
+        agent: Label,
+        /// The round of the attempt.
+        round: u64,
+        /// Where the agent stayed.
+        node: NodeId,
+        /// The port whose edge was absent.
+        port: Port,
+    },
     /// An agent declared that gathering is achieved.
     Declare {
         /// The agent.
@@ -49,6 +61,7 @@ impl TraceEvent {
         match self {
             TraceEvent::Wake { round, .. }
             | TraceEvent::Move { round, .. }
+            | TraceEvent::Blocked { round, .. }
             | TraceEvent::Declare { round, .. } => *round,
         }
     }
