@@ -11,7 +11,8 @@
 //! cargo run -p nochatter-bench --release --bin experiments -- all
 //! ```
 //!
-//! Every scenario-sweep table (T1, F1, F2, T3, F3, T4, F4, T5, T6, DR1) is
+//! Every scenario-sweep table (T1, F1, F2, T3, F3, T4, F4, T5, T6, DR1,
+//! FR1) is
 //! expressed as a [`nochatter_lab`] campaign: the sweep is a declarative
 //! [`Matrix`] (or an explicit scenario list for the unknown-bound tables),
 //! executed by the sharded deterministic campaign runner, and the table is
@@ -430,6 +431,7 @@ fn unknown_scenario(
         team: truth.labels().map(Label::value).collect(),
         wake: wake_name(&schedule),
         topo: "static".into(),
+        fault: "none".into(),
         mode: mode_name(mode).into(),
         variant: kind.variant_name(),
         rep: 0,
@@ -440,6 +442,7 @@ fn unknown_scenario(
         mode,
         schedule,
         topo: nochatter_sim::TopologySpec::Static,
+        fault: nochatter_sim::FaultSpec::None,
         kind,
         seed: 0, // overwritten by Campaign::from_scenarios
     }
@@ -886,6 +889,61 @@ pub fn dr1_dynamic_ring(ctx: ExperimentCtx) -> Table {
     t
 }
 
+/// FR1 — gathering under crash faults: the `fr1` preset campaign crashes
+/// `f ∈ {0, 1, 2}` agents mid-run (the crashed body keeps counting toward
+/// `CurCard` — the paper's sensing model makes that the honest semantics)
+/// and asks where the silent algorithm still achieves *surviving*
+/// gathering, with the talking baseline and each cell's fault-free twin
+/// (same derived seed, same base ring) as the controls.
+pub fn fr1_crash_faults(ctx: ExperimentCtx) -> Table {
+    let mut t = Table::new(
+        "FR1 — crash faults: f agent crashes vs silent gathering and the talking baseline",
+        vec!["n", "k", "wake", "mode", "fault", "ok", "rounds", "crashed"],
+    );
+    let report = run_campaign(&nochatter_lab::presets::fr1_campaign(ctx.quick), 0);
+    for r in &report.records {
+        let (ok, rounds) = ok_cell(r);
+        t.row(vec![
+            r.n_actual.to_string(),
+            r.key.team.len().to_string(),
+            r.key.wake.clone(),
+            r.key.mode.clone(),
+            r.key.fault.clone(),
+            ok,
+            rounds,
+            r.crashed_agents.to_string(),
+        ]);
+    }
+    let faulty: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.key.fault != "none")
+        .collect();
+    let survived = |mode: &str| {
+        let cells: Vec<_> = faulty.iter().filter(|r| r.key.mode == mode).collect();
+        format!("{}/{}", cells.iter().filter(|r| r.ok).count(), cells.len())
+    };
+    let total_crashed: u64 = faulty.iter().map(|r| u64::from(r.crashed_agents)).sum();
+    t.note(format!(
+        "fault-free control: {}/{} ok; under crashes the silent algorithm achieves \
+         surviving gathering on {} cells and the talking baseline on {} (identical \
+         instances — each faulty cell shares its seed with its fault-free twin), \
+         {total_crashed} agents crashed in total. Where a cell fails, the record names \
+         the violated requirement (a validation error, never a harness crash): a crashed \
+         body is indistinguishable from a waiting agent under weak sensing, so survivors \
+         can wait forever for a CurCard that will never move.",
+        report
+            .records
+            .iter()
+            .filter(|r| r.key.fault == "none" && r.ok)
+            .count(),
+        report.records.len() - faulty.len(),
+        survived("silent"),
+        survived("talking"),
+    ));
+    t
+}
+
 /// Runs an experiment by id; `None` for an unknown id.
 pub fn run_experiment(id: &str, ctx: ExperimentCtx) -> Option<Table> {
     Some(match id {
@@ -900,6 +958,7 @@ pub fn run_experiment(id: &str, ctx: ExperimentCtx) -> Option<Table> {
         "t5" => t5_price_of_silence(ctx),
         "t6" => t6_agreement(ctx),
         "dr1" => dr1_dynamic_ring(ctx),
+        "fr1" => fr1_crash_faults(ctx),
         "a1" => a1_uxs_ablation(ctx),
         "a2" => a2_est_ablation(ctx),
         _ => return None,
@@ -909,7 +968,7 @@ pub fn run_experiment(id: &str, ctx: ExperimentCtx) -> Option<Table> {
 /// All experiment ids, in presentation order.
 pub fn all_experiment_ids() -> &'static [&'static str] {
     &[
-        "t1", "f1", "f2", "t2", "t3", "f3", "t4", "f4", "t5", "t6", "dr1", "a1", "a2",
+        "t1", "f1", "f2", "t2", "t3", "f3", "t4", "f4", "t5", "t6", "dr1", "fr1", "a1", "a2",
     ]
 }
 
@@ -992,6 +1051,31 @@ mod tests {
             dynamic.iter().any(|r| r[3] == "silent" && r[5] == "yes"),
             "some silent cell must survive the adversary"
         );
+    }
+
+    #[test]
+    fn fr1_controls_hold_and_crashes_are_differential() {
+        let t = fr1_crash_faults(quick());
+        // Fault-free control rows all gather with zero crashes.
+        for row in t.rows.iter().filter(|r| r[4] == "none") {
+            assert_eq!(row[5], "yes", "{row:?}");
+            assert_eq!(row[7], "0", "{row:?}");
+        }
+        // Faulty rows exist, each records its exact crash count, the
+        // talking baseline survives every one, and silent failures are
+        // validation errors (never engine errors or harness crashes).
+        let faulty: Vec<_> = t.rows.iter().filter(|r| r[4] != "none").collect();
+        assert!(!faulty.is_empty());
+        for row in &faulty {
+            let expected_crashes = 1 + row[4].matches('+').count();
+            assert_eq!(row[7], expected_crashes.to_string(), "{row:?}");
+            if row[3] == "talking" {
+                assert_eq!(row[5], "yes", "{row:?}");
+            } else {
+                assert!(row[5].starts_with("NO:"), "{row:?}");
+                assert!(!row[5].contains("engine error"), "{row:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! Convenience runners wiring configurations, parameters and behaviors into
 //! the engine — used by tests, examples and the benchmark harness.
+//!
+//! Every runner here builds its engine over [`BehaviorSlot`] storage: the
+//! built-in algorithm stack lives inline in the agent arena and
+//! enum-dispatches, with no per-agent `Box` and no vtable call per round.
 
 use std::sync::{Arc, Mutex};
 
 use nochatter_graph::{InitialConfiguration, Label};
 use nochatter_sim::{
-    Engine, EngineScratch, RunOutcome, Sensing, SimError, Static, Topology, TopologySpec,
-    WakeSchedule,
+    Engine, EngineScratch, FaultSpec, RunOutcome, Sensing, SimError, Static, Topology,
+    TopologySpec, WakeSchedule,
 };
 
 use crate::codec::BitStr;
 use crate::gossip::{GossipKnownUpperBound, GossipReport};
-use crate::known::{CommMode, GatherKnownUpperBound};
+use crate::known::CommMode;
 use crate::params::KnownParams;
+use crate::slot::BehaviorSlot;
 
 /// Bundled parameters for known-upper-bound runs.
 #[derive(Clone, Debug)]
@@ -103,38 +108,57 @@ pub fn run_known_traced_with_scratch(
     trace_capacity: Option<usize>,
     scratch: &mut EngineScratch,
 ) -> Result<RunOutcome, SimError> {
-    run_known_view(cfg, setup, mode, schedule, &Static, trace_capacity, scratch)
+    run_known_view(
+        cfg,
+        KnownRun {
+            setup,
+            mode,
+            schedule,
+            fault: &FaultSpec::None,
+            trace_capacity,
+        },
+        &Static,
+        scratch,
+    )
+}
+
+/// The non-configuration arguments of one known-upper-bound engine run,
+/// grouped so the wiring function keeps a readable signature as axes
+/// (sensing mode, wake schedule, fault adversary, tracing) accumulate.
+struct KnownRun<'a> {
+    setup: &'a KnownSetup,
+    mode: CommMode,
+    schedule: WakeSchedule,
+    fault: &'a FaultSpec,
+    trace_capacity: Option<usize>,
 }
 
 /// The one engine-wiring path behind every known-upper-bound runner,
 /// monomorphized over the topology: the [`Static`] instantiation is the
-/// pre-dynamic hot path, and one [`nochatter_sim::SpecView`] instantiation
-/// covers every round-varying provider.
+/// fault-free pre-dynamic hot path, and one [`nochatter_sim::SpecView`]
+/// instantiation covers every round-varying provider. Agents are stored as
+/// [`BehaviorSlot::KnownGather`] — inline, enum-dispatched, unboxed.
 fn run_known_view<T: Topology>(
     cfg: &InitialConfiguration,
-    setup: &KnownSetup,
-    mode: CommMode,
-    schedule: WakeSchedule,
+    run: KnownRun<'_>,
     topology: &T,
-    trace_capacity: Option<usize>,
     scratch: &mut EngineScratch,
 ) -> Result<RunOutcome, SimError> {
-    let mut engine = Engine::with_topology(cfg.graph(), topology);
-    engine.set_sensing(sensing_for(mode));
-    if let Some(capacity) = trace_capacity {
+    let mut engine: Engine<'_, T::View, BehaviorSlot> = Engine::with_parts(cfg.graph(), topology);
+    engine.set_sensing(sensing_for(run.mode));
+    engine.set_faults(run.fault.clone());
+    if let Some(capacity) = run.trace_capacity {
         engine.record_trace(capacity);
     }
     for &(label, start) in cfg.agents() {
         engine.add_agent(
             label,
             start,
-            Box::new(
-                GatherKnownUpperBound::with_mode(setup.params.clone(), label, mode).into_behavior(),
-            ),
+            BehaviorSlot::known_gather(run.setup.params.clone(), label, run.mode),
         );
     }
-    engine.set_wake_schedule(schedule);
-    let limit = setup.params.round_limit(cfg.smallest_label_bit_len());
+    engine.set_wake_schedule(run.schedule);
+    let limit = run.setup.params.round_limit(cfg.smallest_label_bit_len());
     engine.run_with_scratch(limit, scratch)
 }
 
@@ -144,12 +168,13 @@ fn run_known_view<T: Topology>(
 ///
 /// Builds the [`KnownSetup`] from `(cfg, seed)` — the exploration-sequence
 /// stream derives from `seed`, the bound is the true size — and runs under
-/// `mode`, `schedule` and the round-varying topology described by `topo`
+/// `mode`, `schedule`, the round-varying topology described by `topo`
 /// ([`TopologySpec::Static`] is the paper's model and costs nothing; see
-/// [`nochatter_graph::dynamic`] for the dynamic providers). Fully
-/// deterministic: identical arguments produce a bitwise-identical
-/// [`RunOutcome`], which is what makes sharded campaign runs reproducible
-/// regardless of worker count.
+/// [`nochatter_graph::dynamic`] for the dynamic providers) and the
+/// crash-fault adversary `fault` ([`FaultSpec::None`] is the paper's model
+/// and costs nothing). Fully deterministic: identical arguments produce a
+/// bitwise-identical [`RunOutcome`], which is what makes sharded campaign
+/// runs reproducible regardless of worker count.
 ///
 /// # Errors
 ///
@@ -166,7 +191,7 @@ fn run_known_view<T: Topology>(
 /// ```
 /// use nochatter_core::{harness, CommMode};
 /// use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
-/// use nochatter_sim::{TopologySpec, WakeSchedule};
+/// use nochatter_sim::{FaultSpec, TopologySpec, WakeSchedule};
 ///
 /// let cfg = InitialConfiguration::new(
 ///     generators::ring(4),
@@ -180,6 +205,7 @@ fn run_known_view<T: Topology>(
 ///     CommMode::Silent,
 ///     WakeSchedule::Simultaneous,
 ///     &TopologySpec::Static,
+///     &FaultSpec::None,
 ///     7,
 ///     None,
 /// )?;
@@ -191,6 +217,7 @@ pub fn run_scenario(
     mode: CommMode,
     schedule: WakeSchedule,
     topo: &TopologySpec,
+    fault: &FaultSpec,
     seed: u64,
     trace_capacity: Option<usize>,
 ) -> Result<RunOutcome, SimError> {
@@ -199,6 +226,7 @@ pub fn run_scenario(
         mode,
         schedule,
         topo,
+        fault,
         seed,
         trace_capacity,
         &mut EngineScratch::new(),
@@ -217,29 +245,31 @@ pub fn run_scenario(
 /// # Panics
 ///
 /// Panics if `topo` is incompatible with the configuration's graph.
+#[allow(clippy::too_many_arguments)] // the scenario axes ARE the signature; grouped callers use GatherScenario
 pub fn run_scenario_with_scratch(
     cfg: &InitialConfiguration,
     mode: CommMode,
     schedule: WakeSchedule,
     topo: &TopologySpec,
+    fault: &FaultSpec,
     seed: u64,
     trace_capacity: Option<usize>,
     scratch: &mut EngineScratch,
 ) -> Result<RunOutcome, SimError> {
     let setup = KnownSetup::for_configuration(cfg, cfg.size() as u32, seed);
+    let run = KnownRun {
+        setup: &setup,
+        mode,
+        schedule,
+        fault,
+        trace_capacity,
+    };
     if topo.is_static() {
-        // The zero-cost monomorphization: exactly the pre-dynamic engine.
-        run_known_view(
-            cfg,
-            &setup,
-            mode,
-            schedule,
-            &Static,
-            trace_capacity,
-            scratch,
-        )
+        // The zero-cost monomorphization: exactly the fault-free
+        // pre-dynamic engine when `fault` is `FaultSpec::None`.
+        run_known_view(cfg, run, &Static, scratch)
     } else {
-        run_known_view(cfg, &setup, mode, schedule, topo, trace_capacity, scratch)
+        run_known_view(cfg, run, topo, scratch)
     }
 }
 
@@ -257,6 +287,9 @@ pub struct GatherScenario<'a> {
     /// The round-varying topology ([`TopologySpec::Static`] for the
     /// paper's model).
     pub topo: TopologySpec,
+    /// The crash-fault adversary ([`FaultSpec::None`] for the paper's
+    /// model).
+    pub fault: FaultSpec,
     /// Seed of the exploration-sequence stream.
     pub seed: u64,
     /// Event-trace capacity, if a trace is wanted.
@@ -278,6 +311,7 @@ pub fn run_scenario_batch(batch: &[GatherScenario<'_>]) -> Vec<Result<RunOutcome
                 s.mode,
                 s.schedule.clone(),
                 &s.topo,
+                &s.fault,
                 s.seed,
                 s.trace_capacity,
                 &mut scratch,
@@ -308,7 +342,7 @@ pub fn run_gossip_outcome(
         cfg.agent_count(),
         "one message per agent required"
     );
-    let mut engine = Engine::new(cfg.graph());
+    let mut engine: Engine<'_, Static, BehaviorSlot> = Engine::with_parts(cfg.graph(), &Static);
     engine.set_sensing(sensing_for(mode));
     let sinks: Vec<(Label, Arc<Mutex<Option<GossipReport>>>)> = cfg
         .agents()
@@ -322,14 +356,12 @@ pub fn run_gossip_outcome(
             .unwrap_or_else(|| panic!("no message for agent {label}"))
             .1
             .clone();
-        let sink = Arc::clone(&sinks[idx].1);
         let proc_ = GossipKnownUpperBound::new(setup.params.clone(), label, payload, mode);
-        let behavior = nochatter_sim::proc::ProcBehavior::mapping(proc_, move |report| {
-            let leader = report.leader;
-            *sink.lock().expect("sink poisoned") = Some(report);
-            nochatter_sim::Declaration::with_leader(leader)
-        });
-        engine.add_agent(label, start, Box::new(behavior));
+        engine.add_agent(
+            label,
+            start,
+            BehaviorSlot::gossip(proc_, Arc::clone(&sinks[idx].1)),
+        );
     }
     engine.set_wake_schedule(schedule);
     let max_code_len = messages
@@ -403,8 +435,11 @@ pub fn run_gossip_unknown(
     let unknown_schedule = std::sync::Arc::new(
         UnknownSchedule::new(omega).expect("schedule must fit u64 for this horizon"),
     );
-    let graph = std::sync::Arc::new(cfg.graph().clone());
-    let mut engine = Engine::new(cfg.graph());
+    // The configuration already owns its graph behind an `Arc`: sharing it
+    // with every agent's position oracle is a pointer clone, not a graph
+    // copy per run.
+    let graph = cfg.graph_arc();
+    let mut engine: Engine<'_, Static, BehaviorSlot> = Engine::with_parts(cfg.graph(), &Static);
     let sinks: Vec<(
         Label,
         Arc<Mutex<Option<crate::gossip::UnknownGossipReport>>>,
@@ -427,20 +462,14 @@ pub fn run_gossip_unknown(
             std::sync::Arc::clone(&unknown_schedule),
             EstMode::Conservative,
         );
-        let sink = Arc::clone(&sinks[idx].1);
-        let behavior = nochatter_sim::proc::ProcBehavior::mapping(
-            GossipUnknownUpperBound::new(gather, payload),
-            move |report: crate::gossip::UnknownGossipReport| {
-                let leader = report.gathering.leader;
-                let size = report.gathering.size;
-                *sink.lock().expect("sink poisoned") = Some(report);
-                nochatter_sim::Declaration {
-                    leader: Some(leader),
-                    size: Some(size),
-                }
-            },
+        engine.add_agent(
+            label,
+            start,
+            BehaviorSlot::unknown_gossip(
+                GossipUnknownUpperBound::new(gather, payload),
+                Arc::clone(&sinks[idx].1),
+            ),
         );
-        engine.add_agent(label, start, Box::new(behavior));
     }
     engine.set_wake_schedule(schedule);
     // The gossip term is negligible next to the unknown-bound budgets.
@@ -464,6 +493,7 @@ pub fn run_gossip_unknown(
 mod tests {
     use super::*;
     use nochatter_graph::{generators, NodeId};
+    use nochatter_sim::CrashPoint;
 
     fn cfg(n: u32, starts: &[(u64, u32)]) -> InitialConfiguration {
         InitialConfiguration::new(
@@ -479,9 +509,9 @@ mod tests {
     #[test]
     fn batch_matches_individual_runs_bitwise() {
         let cfgs = [cfg(4, &[(2, 0), (3, 2)]), cfg(6, &[(2, 1), (5, 4)])];
-        // Alternate modes and topologies so the shared scratch crosses
-        // sensing models, graph sizes and static/dynamic paths between
-        // consecutive runs.
+        // Alternate modes, topologies and faults so the shared scratch
+        // crosses sensing models, graph sizes, static/dynamic paths and
+        // fault-free/faulty runs between consecutive executions.
         let topos = [
             TopologySpec::Static,
             TopologySpec::Periodic(nochatter_graph::dynamic::PeriodicEdges {
@@ -489,21 +519,32 @@ mod tests {
                 offset: 0,
             }),
         ];
+        let faults = [
+            FaultSpec::None,
+            FaultSpec::CrashAt(vec![CrashPoint {
+                label: Label::new(2).unwrap(),
+                round: 40,
+            }]),
+        ];
         let batch: Vec<GatherScenario<'_>> = cfgs
             .iter()
             .enumerate()
             .flat_map(|(i, cfg)| {
                 let topos = &topos;
+                let faults = &faults;
                 [CommMode::Silent, CommMode::Talking]
                     .into_iter()
                     .flat_map(move |mode| {
-                        topos.iter().map(move |topo| GatherScenario {
-                            cfg,
-                            mode,
-                            schedule: WakeSchedule::Simultaneous,
-                            topo: topo.clone(),
-                            seed: 7 + i as u64,
-                            trace_capacity: Some(1 << 12),
+                        topos.iter().flat_map(move |topo| {
+                            faults.iter().map(move |fault| GatherScenario {
+                                cfg,
+                                mode,
+                                schedule: WakeSchedule::Simultaneous,
+                                topo: topo.clone(),
+                                fault: fault.clone(),
+                                seed: 7 + i as u64,
+                                trace_capacity: Some(1 << 12),
+                            })
                         })
                     })
             })
@@ -516,15 +557,19 @@ mod tests {
                 s.mode,
                 s.schedule.clone(),
                 &s.topo,
+                &s.fault,
                 s.seed,
                 s.trace_capacity,
             )
             .unwrap();
             let batched = batched.as_ref().unwrap();
             assert_eq!(format!("{batched:?}"), format!("{solo:?}"));
-            if s.topo.is_static() {
+            if s.topo.is_static() && s.fault.is_none() {
                 assert!(batched.gathering().is_ok());
                 assert_eq!(batched.blocked_moves, 0);
+            }
+            if !s.fault.is_none() {
+                assert_eq!(batched.crashed_agents, vec![Label::new(2).unwrap()]);
             }
         }
     }

@@ -115,7 +115,7 @@ enum Stage {
 /// .unwrap();
 /// let omega = SliceEnumeration::new(vec![cfg.clone()]);
 /// let schedule = Arc::new(UnknownSchedule::new(omega).unwrap());
-/// let graph = Arc::new(cfg.graph().clone());
+/// let graph = cfg.graph_arc();
 /// let agent = GatherUnknownUpperBound::new(
 ///     Label::new(1).unwrap(),
 ///     NodeId::new(0),
@@ -307,8 +307,12 @@ pub fn run_unknown_with_options(
 
     let schedule =
         Arc::new(UnknownSchedule::new(omega).expect("schedule must fit u64 for this horizon"));
-    let graph = Arc::new(cfg.graph().clone());
-    let mut engine = nochatter_sim::Engine::new(cfg.graph());
+    // The configuration owns its graph behind an `Arc`: the per-agent
+    // position oracles share it with a pointer clone instead of copying
+    // the graph once per run.
+    let graph = cfg.graph_arc();
+    let mut engine: nochatter_sim::Engine<'_, nochatter_sim::Static, crate::slot::BehaviorSlot> =
+        nochatter_sim::Engine::with_parts(cfg.graph(), &nochatter_sim::Static);
     let sinks: Vec<(Label, Arc<Mutex<Option<UnknownReport>>>)> = cfg
         .agents()
         .iter()
@@ -322,20 +326,10 @@ pub fn run_unknown_with_options(
             Arc::clone(&schedule),
             options,
         );
-        let sink = Arc::clone(&sinks[idx].1);
         engine.add_agent(
             label,
             start,
-            Box::new(nochatter_sim::proc::ProcBehavior::mapping(
-                proc_,
-                move |report: UnknownReport| {
-                    *sink.lock().expect("sink poisoned") = Some(report);
-                    nochatter_sim::Declaration {
-                        leader: Some(report.leader),
-                        size: Some(report.size),
-                    }
-                },
-            )),
+            crate::slot::BehaviorSlot::unknown_gather(proc_, Arc::clone(&sinks[idx].1)),
         );
     }
     engine.set_wake_schedule(wake);

@@ -1,0 +1,119 @@
+//! Pins the data-oriented agent runtime against the historical storage:
+//! running the real algorithm stack through [`BehaviorSlot`] enum dispatch
+//! (what every harness runner now does) is bitwise identical to running
+//! the same stack through per-agent `Box<dyn AgentBehavior>` storage (the
+//! pre-refactor wiring, still available as the engine's default `B`) —
+//! across sensing modes, wake schedules, graph families, with the slot
+//! run sharing one deliberately dirty scratch.
+//!
+//! Together with the golden smoke campaign (byte-identical to the
+//! recording made before the agent-runtime refactor), this is the
+//! refactor's behavior-preservation proof: storage and dispatch changed,
+//! bits did not.
+
+use std::cell::RefCell;
+
+use proptest::prelude::*;
+
+use nochatter_core::{harness, CommMode, GatherKnownUpperBound, KnownSetup};
+use nochatter_graph::generators::Family;
+use nochatter_graph::{InitialConfiguration, Label, NodeId};
+use nochatter_sim::{Engine, EngineScratch, RunOutcome, Sensing, SimError, WakeSchedule};
+
+fn sensing_for(mode: CommMode) -> Sensing {
+    match mode {
+        CommMode::Silent => Sensing::Weak,
+        CommMode::Talking => Sensing::Traditional,
+    }
+}
+
+/// The pre-refactor wiring, verbatim: one boxed behavior per agent through
+/// the engine's default storage.
+fn run_known_boxed(
+    cfg: &InitialConfiguration,
+    setup: &KnownSetup,
+    mode: CommMode,
+    schedule: WakeSchedule,
+    trace_capacity: usize,
+) -> Result<RunOutcome, SimError> {
+    let mut engine = Engine::new(cfg.graph());
+    engine.set_sensing(sensing_for(mode));
+    engine.record_trace(trace_capacity);
+    for &(label, start) in cfg.agents() {
+        engine.add_agent(
+            label,
+            start,
+            Box::new(
+                GatherKnownUpperBound::with_mode(setup.params().clone(), label, mode)
+                    .into_behavior(),
+            ),
+        );
+    }
+    engine.set_wake_schedule(schedule);
+    let limit = setup.params().round_limit(cfg.smallest_label_bit_len());
+    engine.run(limit)
+}
+
+fn scenario_strategy() -> impl Strategy<Value = (InitialConfiguration, u64, WakeSchedule, CommMode)>
+{
+    (0usize..4, 4u32..7, any::<u64>(), 0u64..3, any::<bool>()).prop_map(
+        |(family, n, seed, sched, talking)| {
+            let family = [Family::Ring, Family::Path, Family::Star, Family::Grid][family];
+            let graph = family.instantiate(n, seed);
+            let n_actual = graph.node_count() as u32;
+            let cfg = InitialConfiguration::new(
+                graph,
+                vec![
+                    (Label::new(2).unwrap(), NodeId::new(0)),
+                    (Label::new(seed % 5 + 3).unwrap(), NodeId::new(n_actual / 2)),
+                ],
+            )
+            .expect("two distinct starts on ≥4 nodes");
+            let schedule = match sched {
+                0 => WakeSchedule::Simultaneous,
+                1 => WakeSchedule::FirstOnly,
+                _ => WakeSchedule::Staggered { gap: seed % 9 + 1 },
+            };
+            let mode = if talking {
+                CommMode::Talking
+            } else {
+                CommMode::Silent
+            };
+            (cfg, seed, schedule, mode)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn enum_dispatch_is_bitwise_identical_to_boxed_dispatch(
+        (cfg, seed, schedule, mode) in scenario_strategy()
+    ) {
+        thread_local! {
+            static SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::new());
+        }
+        let setup = KnownSetup::for_configuration(&cfg, cfg.size() as u32, seed);
+        let capacity = 1 << 14;
+        let boxed = run_known_boxed(&cfg, &setup, mode, schedule.clone(), capacity).unwrap();
+        let slots = SCRATCH.with(|scratch| {
+            harness::run_known_traced_with_scratch(
+                &cfg,
+                &setup,
+                mode,
+                schedule,
+                Some(capacity),
+                &mut scratch.borrow_mut(),
+            )
+            .unwrap()
+        });
+        prop_assert_eq!(format!("{boxed:?}"), format!("{slots:?}"));
+        prop_assert_eq!(
+            boxed.trace.as_ref().unwrap().events(),
+            slots.trace.as_ref().unwrap().events()
+        );
+        // Both are the real algorithm: the gathering must validate.
+        prop_assert!(slots.gathering().is_ok());
+    }
+}

@@ -124,7 +124,10 @@ impl Error for ConfigError {}
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InitialConfiguration {
-    graph: Graph,
+    /// Shared: cloning a configuration (or handing its graph to a
+    /// behavior that needs shared ownership, see
+    /// [`InitialConfiguration::graph_arc`]) never copies the graph itself.
+    graph: std::sync::Arc<Graph>,
     /// Sorted by label.
     agents: Vec<(Label, NodeId)>,
 }
@@ -161,12 +164,23 @@ impl InitialConfiguration {
         if agents.iter().any(|&(_, v)| !graph.contains(v)) {
             return Err(ConfigError::StartOutOfRange);
         }
-        Ok(InitialConfiguration { graph, agents })
+        Ok(InitialConfiguration {
+            graph: std::sync::Arc::new(graph),
+            agents,
+        })
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// Shared ownership of the underlying graph — an `Arc` clone, never a
+    /// graph copy. This is what behaviors that outlive the borrow (the
+    /// unknown-bound position oracle, the gossip runners) hold; the graph
+    /// is put behind the `Arc` once, when the configuration is built.
+    pub fn graph_arc(&self) -> std::sync::Arc<Graph> {
+        std::sync::Arc::clone(&self.graph)
     }
 
     /// The graph size `n`.

@@ -8,7 +8,7 @@ use nochatter_core::{BitStr, CommMode};
 use nochatter_graph::generators::Family;
 use nochatter_graph::rng::derive_seed;
 use nochatter_graph::{InitialConfiguration, Label, NodeId};
-use nochatter_sim::{TopologySpec, WakeSchedule};
+use nochatter_sim::{FaultSpec, TopologySpec, WakeSchedule};
 
 use crate::record::{fnv_bytes, ScenarioKey};
 
@@ -126,6 +126,10 @@ pub struct Scenario {
     /// paper's model). An execution axis: a dynamic cell shares its seed
     /// and base graph with its static twin.
     pub topo: TopologySpec,
+    /// The crash-fault adversary ([`FaultSpec::None`] for the paper's
+    /// model). An execution axis: a faulty cell shares its seed and base
+    /// graph with its fault-free twin.
+    pub fault: FaultSpec,
     /// The algorithm under test.
     pub kind: ScenarioKind,
     /// Seed derived from the campaign seed and the key.
@@ -280,15 +284,17 @@ pub fn spread(
 }
 
 /// The cartesian scenario matrix: graph family × size × team × wake
-/// schedule × dynamism × sensing mode × algorithm variant × seed
-/// repetition.
+/// schedule × dynamism × fault adversary × sensing mode × algorithm
+/// variant × seed repetition.
 ///
 /// Cells a family cannot realize (more agents than nodes) are skipped
 /// silently, mirroring the original sweep tables; so are cells whose
 /// topology cannot run over the instantiated graph (a
 /// [`TopologySpec::Ring`] over anything but a cycle), which lets one
 /// matrix cross the dynamic-ring adversary with a family list that
-/// includes non-rings.
+/// includes non-rings, and cells whose fault spec targets a label outside
+/// the team, which lets one matrix cross per-label crash lists with
+/// several teams.
 ///
 /// # Example
 ///
@@ -320,6 +326,8 @@ pub struct Matrix {
     pub schedules: Vec<WakeSchedule>,
     /// Round-varying topologies (the dynamism axis).
     pub topologies: Vec<TopologySpec>,
+    /// Crash-fault adversaries (the fault axis).
+    pub faults: Vec<FaultSpec>,
     /// Sensing/communication modes.
     pub modes: Vec<CommMode>,
     /// Algorithm variants.
@@ -341,6 +349,7 @@ impl Matrix {
             teams: Vec::new(),
             schedules: vec![WakeSchedule::Simultaneous],
             topologies: vec![TopologySpec::Static],
+            faults: vec![FaultSpec::None],
             modes: vec![CommMode::Silent],
             kinds: vec![ScenarioKind::Gather],
             reps: 1,
@@ -383,6 +392,7 @@ impl Matrix {
                             team: team.clone(),
                             wake: String::new(),
                             topo: String::new(),
+                            fault: String::new(),
                             mode: String::new(),
                             variant: String::new(),
                             rep,
@@ -394,28 +404,36 @@ impl Matrix {
                             family.instantiate(n, seed)
                         };
                         let cfg = spread(graph, team)?;
+                        let team_labels: Vec<nochatter_graph::Label> = cfg.labels().collect();
                         for schedule in &self.schedules {
                             for topo in &self.topologies {
                                 if !topo.compatible_with(cfg.graph()) {
                                     continue; // e.g. a dynamic ring over a non-cycle
                                 }
-                                for &mode in &self.modes {
-                                    for kind in &self.kinds {
-                                        scenarios.push(Scenario {
-                                            key: ScenarioKey {
-                                                wake: wake_name(schedule),
-                                                topo: topo.short_name(),
-                                                mode: mode_name(mode).into(),
-                                                variant: kind.variant_name(),
-                                                ..instance_key.clone()
-                                            },
-                                            cfg: cfg.clone(),
-                                            mode,
-                                            schedule: schedule.clone(),
-                                            topo: topo.clone(),
-                                            kind: kind.clone(),
-                                            seed,
-                                        });
+                                for fault in &self.faults {
+                                    if !fault.compatible_with(&team_labels) {
+                                        continue; // a crash list naming a label outside this team
+                                    }
+                                    for &mode in &self.modes {
+                                        for kind in &self.kinds {
+                                            scenarios.push(Scenario {
+                                                key: ScenarioKey {
+                                                    wake: wake_name(schedule),
+                                                    topo: topo.short_name(),
+                                                    fault: fault.short_name(),
+                                                    mode: mode_name(mode).into(),
+                                                    variant: kind.variant_name(),
+                                                    ..instance_key.clone()
+                                                },
+                                                cfg: cfg.clone(),
+                                                mode,
+                                                schedule: schedule.clone(),
+                                                topo: topo.clone(),
+                                                fault: fault.clone(),
+                                                kind: kind.clone(),
+                                                seed,
+                                            });
+                                        }
                                     }
                                 }
                             }

@@ -4,7 +4,8 @@
 use nochatter_core::CommMode;
 use nochatter_graph::dynamic::{DynamicRing, SeededEdgeFailure};
 use nochatter_graph::generators::Family;
-use nochatter_sim::{TopologySpec, WakeSchedule};
+use nochatter_graph::Label;
+use nochatter_sim::{CrashPoint, FaultSpec, TopologySpec, WakeSchedule};
 
 use crate::campaign::{Campaign, Matrix};
 
@@ -17,6 +18,19 @@ pub const DEMO_SEED: u64 = 2020;
 
 /// The default master seed of [`dr1_campaign`].
 pub const DR1_SEED: u64 = 1971;
+
+/// The default master seed of [`fr1_campaign`].
+pub const FR1_SEED: u64 = 1982;
+
+/// The round at which FR1's first crash fires: early enough to precede
+/// every gathering in the swept sizes, late enough that phase 0 is under
+/// way (the crash hits a *working* agent, not a sleeping one, under
+/// simultaneous wake-up).
+pub const FR1_EARLY_CRASH: u64 = 64;
+
+/// The round of FR1's second crash (the `f = 2` axis entry): mid-run,
+/// after the early phases have already mixed the team.
+pub const FR1_LATE_CRASH: u64 = 2048;
 
 /// The seed of the demo/DR1 dynamic adversaries (edge-failure and
 /// dynamic-ring specs carry their own seed, independent of the campaign
@@ -130,6 +144,46 @@ pub fn dr1_campaign(quick: bool) -> Campaign {
         .expect("dr1 campaign is well-formed")
 }
 
+/// The FR1 matrix — the crash-fault study: rings of several sizes × a
+/// 2-agent and a 3-agent team × 2 wake schedules × {fault-free, crash one
+/// agent early, crash two agents} × both sensing modes. Every faulty cell
+/// shares its derived seed (and with it the base ring and exploration
+/// setup) with its fault-free twin, so the sweep measures exactly what `f`
+/// crashes cost — for the silent algorithm and for the talking baseline
+/// side by side.
+///
+/// The `f = 2` entry crashes label 5, so it expands only for the 3-agent
+/// team (matrix expansion skips crash lists naming labels outside a team);
+/// the `f = 1` entry crashes label 3, a member of both teams.
+pub fn fr1_matrix(quick: bool) -> Matrix {
+    let sizes: Vec<u32> = if quick { vec![4, 5] } else { vec![4, 5, 6, 8] };
+    let crash = |l: u64, round: u64| CrashPoint {
+        label: Label::new(l).expect("preset labels are valid"),
+        round,
+    };
+    Matrix {
+        families: vec![Family::Ring],
+        sizes,
+        teams: vec![vec![2, 3], vec![3, 5, 9]],
+        schedules: vec![WakeSchedule::Simultaneous, WakeSchedule::FirstOnly],
+        faults: vec![
+            FaultSpec::None,
+            FaultSpec::CrashAt(vec![crash(3, FR1_EARLY_CRASH)]),
+            FaultSpec::CrashAt(vec![crash(3, FR1_EARLY_CRASH), crash(5, FR1_LATE_CRASH)]),
+        ],
+        modes: vec![CommMode::Silent, CommMode::Talking],
+        ..Matrix::new()
+    }
+}
+
+/// The FR1 campaign behind `experiments -- fr1`: [`fr1_matrix`] under the
+/// pinned seed [`FR1_SEED`].
+pub fn fr1_campaign(quick: bool) -> Campaign {
+    fr1_matrix(quick)
+        .campaign("fr1", FR1_SEED)
+        .expect("fr1 campaign is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +236,34 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fr1_pairs_every_faulty_cell_with_a_fault_free_twin() {
+        let c = fr1_campaign(true);
+        let faulty: Vec<_> = c
+            .scenarios()
+            .iter()
+            .filter(|s| s.key.fault != "none")
+            .collect();
+        assert!(!faulty.is_empty());
+        // Both crash depths exist; the f = 2 list expands only for the
+        // team containing label 5.
+        assert!(faulty.iter().any(|s| s.key.fault == "crash3@64"));
+        for s in &faulty {
+            if s.key.fault.contains('+') {
+                assert_eq!(s.key.team, vec![3, 5, 9], "{}", s.key);
+            }
+            let mut twin = s.key.clone();
+            twin.fault = "none".into();
+            let twin = c
+                .scenarios()
+                .iter()
+                .find(|t| t.key == twin)
+                .expect("fault-free twin exists");
+            assert_eq!(twin.seed, s.seed, "twins must share the derived seed");
+            assert_eq!(twin.cfg, s.cfg, "twins must share the base ring");
         }
     }
 

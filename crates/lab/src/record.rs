@@ -13,8 +13,8 @@ use nochatter_sim::{Trace, TraceEvent};
 /// of existing cells).
 ///
 /// The derived [`Ord`] sorts by field order — family, size, team, wake
-/// schedule, dynamism, sensing mode, algorithm variant, repetition — which
-/// groups reports the way the tables read.
+/// schedule, dynamism, fault adversary, sensing mode, algorithm variant,
+/// repetition — which groups reports the way the tables read.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ScenarioKey {
     /// Graph family short name (e.g. `"ring"`), or a free-form tag for
@@ -30,6 +30,10 @@ pub struct ScenarioKey {
     /// `"ef100@9"`, `"per7.0"` — see
     /// `nochatter_sim::TopologySpec::short_name`).
     pub topo: String,
+    /// Crash-fault axis: the fault spec's short name (`"none"`,
+    /// `"crash3@64"`, `"sc50@9x2"` — see
+    /// `nochatter_sim::FaultSpec::short_name`).
+    pub fault: String,
     /// Sensing/communication mode: `"silent"` or `"talking"`.
     pub mode: String,
     /// Algorithm variant short name (e.g. `"gather"`, `"gossip-u4"`).
@@ -51,22 +55,28 @@ impl ScenarioKey {
     /// The canonical single-line form, unique per scenario within a
     /// campaign.
     ///
-    /// The dynamism segment appears only for non-static topologies, so
-    /// every pre-dynamism key (and with it every golden report) renders
-    /// unchanged.
+    /// The dynamism segment appears only for non-static topologies, and
+    /// the fault segment only for faulty cells, so every pre-existing key
+    /// (and with it every golden report) renders unchanged.
     pub fn canonical(&self) -> String {
         let topo = if self.topo.is_empty() || self.topo == "static" {
             String::new()
         } else {
             format!("/{}", self.topo)
         };
+        let fault = if self.fault.is_empty() || self.fault == "none" {
+            String::new()
+        } else {
+            format!("/{}", self.fault)
+        };
         format!(
-            "{}/n{}/t{}/w{}{}/{}/{}/r{}",
+            "{}/n{}/t{}/w{}{}{}/{}/{}/r{}",
             self.family,
             self.n,
             self.team_string(),
             self.wake,
             topo,
+            fault,
             self.mode,
             self.variant,
             self.rep
@@ -75,11 +85,12 @@ impl ScenarioKey {
 
     /// The *instance* sub-key — family, size, team and repetition — naming
     /// the network instance while excluding the execution axes (wake
-    /// schedule, dynamism, sensing mode, algorithm variant). Cells sharing
-    /// this sub-key run on the identical configuration: this string (not
-    /// the full key, and not the expansion index) feeds per-scenario seed
-    /// derivation, which is what makes a dynamic cell and its static twin
-    /// a differential pair over the same base graph.
+    /// schedule, dynamism, fault adversary, sensing mode, algorithm
+    /// variant). Cells sharing this sub-key run on the identical
+    /// configuration: this string (not the full key, and not the expansion
+    /// index) feeds per-scenario seed derivation, which is what makes a
+    /// dynamic or faulty cell and its unperturbed twin a differential pair
+    /// over the same base graph.
     pub fn instance_canonical(&self) -> String {
         format!(
             "{}/n{}/t{}/r{}",
@@ -122,6 +133,10 @@ pub struct RunRecord {
     /// topology; serialized only for dynamic cells so static reports stay
     /// byte-identical to their pre-dynamism goldens).
     pub blocked_moves: u64,
+    /// Agents crashed by the fault adversary (always 0 under the
+    /// fault-free spec; serialized only for faulty cells so fault-free
+    /// reports stay byte-identical to their goldens).
+    pub crashed_agents: u32,
     /// Engine loop iterations actually executed (fast-forward excluded).
     pub engine_iterations: u64,
     /// Rounds skipped by the quiescence fast-forward.
@@ -203,6 +218,12 @@ pub fn trace_digest(trace: &Trace) -> u64 {
                 fnv_u64(&mut hash, node.index() as u64);
                 fnv_u64(&mut hash, port.index() as u64);
             }
+            TraceEvent::Crashed { agent, round, node } => {
+                fnv_u64(&mut hash, 5);
+                fnv_u64(&mut hash, agent.value());
+                fnv_u64(&mut hash, round);
+                fnv_u64(&mut hash, node.index() as u64);
+            }
             TraceEvent::Declare {
                 agent,
                 round,
@@ -234,6 +255,7 @@ mod tests {
             team: vec![2, 3, 9],
             wake: "simul".into(),
             topo: "static".into(),
+            fault: "none".into(),
             mode: "silent".into(),
             variant: "gather".into(),
             rep: 0,
@@ -259,6 +281,28 @@ mod tests {
         // The instance sub-key excludes the execution axes, dynamism
         // included: a dynamic cell shares its seed (and graph) with its
         // static twin.
+        assert_eq!(k.instance_canonical(), key().instance_canonical());
+    }
+
+    #[test]
+    fn canonical_form_inserts_a_fault_segment_only_when_faulty() {
+        // Fault-free keys render exactly as before the fault axis existed
+        // — the same rule that keeps the golden smoke report
+        // byte-identical.
+        let mut k = key();
+        k.fault = "crash3@64".into();
+        assert_eq!(
+            k.canonical(),
+            "ring/n6/t2.3.9/wsimul/crash3@64/silent/gather/r0"
+        );
+        // A faulty dynamic cell renders both segments, dynamism first.
+        k.topo = "dring@7".into();
+        assert_eq!(
+            k.canonical(),
+            "ring/n6/t2.3.9/wsimul/dring@7/crash3@64/silent/gather/r0"
+        );
+        // The instance sub-key excludes the fault axis: a faulty cell
+        // shares its seed (and graph) with its fault-free twin.
         assert_eq!(k.instance_canonical(), key().instance_canonical());
     }
 
@@ -293,6 +337,7 @@ mod tests {
                 CommMode::Silent,
                 schedule,
                 &nochatter_sim::TopologySpec::Static,
+                &nochatter_sim::FaultSpec::None,
                 7,
                 Some(4096),
             )

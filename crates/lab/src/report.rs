@@ -163,12 +163,35 @@ impl CampaignReport {
             .collect()
     }
 
+    /// Pairs every record with fault spec `a` with its twin under fault
+    /// spec `b` — the record whose key is identical except for the fault
+    /// axis. Seeds derive from the fault-independent instance sub-key, so
+    /// each pair ran on the identical base graph and exploration setup:
+    /// the lookup behind faulty-vs-fault-free differential comparisons,
+    /// mirroring [`CampaignReport::topo_pairs`] on the dynamism axis.
+    ///
+    /// The fault axis is partial too — matrix expansion skips crash lists
+    /// naming labels outside a team — so records without a `b` twin are
+    /// skipped rather than treated as an error.
+    pub fn fault_pairs(&self, a: &str, b: &str) -> Vec<(&RunRecord, &RunRecord)> {
+        self.records
+            .iter()
+            .filter(|r| r.key.fault == a)
+            .filter_map(|ra| {
+                self.twin_of(ra, |key| key.fault = b.to_string())
+                    .map(|rb| (ra, rb))
+            })
+            .collect()
+    }
+
     /// The deterministic JSON report: campaign identity plus one object per
     /// record, in key order. Identical for any worker count.
     ///
     /// Records of dynamic cells carry two extra fields (`"topo"` and
-    /// `"blocked_moves"`); static records keep the exact pre-dynamism
-    /// shape, so golden reports of static campaigns stay byte-identical.
+    /// `"blocked_moves"`), and records of faulty cells two more
+    /// (`"fault"` and `"crashed_agents"`); static fault-free records keep
+    /// the exact historical shape, so golden reports of static fault-free
+    /// campaigns stay byte-identical.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
@@ -179,8 +202,9 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"records\": [");
         for (i, r) in self.records.iter().enumerate() {
             let comma = if i + 1 < self.records.len() { "," } else { "" };
-            // Dynamism fields appear only on dynamic records: static
-            // reports must stay byte-identical to their goldens.
+            // Dynamism and fault fields appear only on dynamic/faulty
+            // records: unperturbed reports must stay byte-identical to
+            // their goldens.
             let dynamism = if r.key.topo.is_empty() || r.key.topo == "static" {
                 String::new()
             } else {
@@ -188,6 +212,15 @@ impl CampaignReport {
                     ", \"topo\": \"{}\", \"blocked_moves\": {}",
                     json_escape(&r.key.topo),
                     r.blocked_moves
+                )
+            };
+            let fault = if r.key.fault.is_empty() || r.key.fault == "none" {
+                String::new()
+            } else {
+                format!(
+                    ", \"fault\": \"{}\", \"crashed_agents\": {}",
+                    json_escape(&r.key.fault),
+                    r.crashed_agents
                 )
             };
             let _ = writeln!(
@@ -199,7 +232,7 @@ impl CampaignReport {
                  \"rounds\": {rounds}, \"moves\": {moves}, \
                  \"engine_iterations\": {iters}, \"skipped_rounds\": {skipped}, \
                  \"max_colocation\": {coloc}, \"leader\": {leader}, \"node\": {node}, \
-                 \"size\": {size}, \"trace_digest\": {digest}{dynamism}}}{comma}",
+                 \"size\": {size}, \"trace_digest\": {digest}{dynamism}{fault}}}{comma}",
                 key = json_escape(&r.key.canonical()),
                 family = json_escape(&r.key.family),
                 n = r.key.n,
@@ -231,18 +264,19 @@ impl CampaignReport {
     }
 
     /// The deterministic CSV report (same fields as the JSON records; the
-    /// tabular format carries the `topo` and `blocked_moves` columns for
-    /// every row — `static` / 0 on static cells).
+    /// tabular format carries the `topo`/`blocked_moves` and
+    /// `fault`/`crashed_agents` columns for every row — `static` / 0 and
+    /// `none` / 0 on unperturbed cells).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "key,family,n,n_actual,team,wake,topo,mode,variant,rep,seed,ok,status,rounds,moves,\
-             blocked_moves,engine_iterations,skipped_rounds,max_colocation,leader,node,size,\
-             trace_digest\n",
+            "key,family,n,n_actual,team,wake,topo,fault,mode,variant,rep,seed,ok,status,rounds,\
+             moves,blocked_moves,crashed_agents,engine_iterations,skipped_rounds,max_colocation,\
+             leader,node,size,trace_digest\n",
         );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_escape(&r.key.canonical()),
                 csv_escape(&r.key.family),
                 r.key.n,
@@ -254,6 +288,11 @@ impl CampaignReport {
                 } else {
                     &r.key.topo
                 }),
+                csv_escape(if r.key.fault.is_empty() {
+                    "none"
+                } else {
+                    &r.key.fault
+                }),
                 csv_escape(&r.key.mode),
                 csv_escape(&r.key.variant),
                 r.key.rep,
@@ -263,6 +302,7 @@ impl CampaignReport {
                 r.rounds,
                 r.moves,
                 r.blocked_moves,
+                r.crashed_agents,
                 r.engine_iterations,
                 r.skipped_rounds,
                 r.max_colocation,
@@ -284,6 +324,11 @@ impl CampaignReport {
         let total_rounds: u64 = self.records.iter().map(|r| r.rounds).sum();
         let total_moves: u64 = self.records.iter().map(|r| r.moves).sum();
         let total_blocked: u64 = self.records.iter().map(|r| r.blocked_moves).sum();
+        let total_crashed: u64 = self
+            .records
+            .iter()
+            .map(|r| u64::from(r.crashed_agents))
+            .sum();
         let total_iters: u64 = self.records.iter().map(|r| r.engine_iterations).sum();
         let mut families: Vec<&str> = self.records.iter().map(|r| r.key.family.as_str()).collect();
         families.sort_unstable();
@@ -306,6 +351,7 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"total_rounds\": {total_rounds},");
         let _ = writeln!(out, "  \"total_moves\": {total_moves},");
         let _ = writeln!(out, "  \"total_blocked_moves\": {total_blocked},");
+        let _ = writeln!(out, "  \"total_crashed_agents\": {total_crashed},");
         let _ = writeln!(out, "  \"total_engine_iterations\": {total_iters},");
         let _ = writeln!(out, "  \"workers\": {},", self.workers);
         let _ = writeln!(out, "  \"wall_ms\": {},", self.wall.as_millis());
@@ -428,6 +474,15 @@ mod tests {
         let report = tiny_report();
         assert!(report.topo_pairs("static", "dring@1").is_empty());
         assert!(report.topo_pairs("dring@1", "static").is_empty());
+    }
+
+    #[test]
+    fn fault_pairs_skips_records_without_a_twin() {
+        // A fault-free report has no faulty twins; the lookup must be
+        // total (empty), not a panic, in either direction.
+        let report = tiny_report();
+        assert!(report.fault_pairs("none", "crash3@64").is_empty());
+        assert!(report.fault_pairs("crash3@64", "none").is_empty());
     }
 
     #[test]

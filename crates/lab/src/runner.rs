@@ -112,6 +112,7 @@ pub fn execute_scenario_with_scratch(
         rounds: 0,
         moves: 0,
         blocked_moves: 0,
+        crashed_agents: 0,
         engine_iterations: 0,
         skipped_rounds: 0,
         max_colocation: 0,
@@ -120,13 +121,21 @@ pub fn execute_scenario_with_scratch(
         size: None,
         trace_digest: None,
     };
-    // Only the gathering variant runs under round-varying topologies: the
-    // gossip and unknown-bound algorithms drive their own engines and are
-    // static-only by design. Reject their dynamic cells loudly instead of
-    // silently running them on the wrong model.
+    // Only the gathering variant runs under round-varying topologies or
+    // the crash-fault adversary: the gossip and unknown-bound algorithms
+    // drive their own engines and are static, fault-free runs by design.
+    // Reject their dynamic/faulty cells loudly instead of silently running
+    // them on the wrong model.
     if !scenario.topo.is_static() && !matches!(scenario.kind, ScenarioKind::Gather) {
         record.status = format!(
             "unsupported: {} variant is static-only",
+            scenario.kind.variant_name()
+        );
+        return record;
+    }
+    if !scenario.fault.is_none() && !matches!(scenario.kind, ScenarioKind::Gather) {
+        record.status = format!(
+            "unsupported: {} variant has no fault axis",
             scenario.kind.variant_name()
         );
         return record;
@@ -148,6 +157,7 @@ pub fn execute_scenario_with_scratch(
             scenario.mode,
             scenario.schedule.clone(),
             &scenario.topo,
+            &scenario.fault,
             scenario.seed,
             Some(TRACE_CAPACITY),
             scratch,
@@ -212,7 +222,16 @@ pub fn execute_scenario_with_scratch(
     match outcome {
         Ok(outcome) => {
             fill_outcome(&mut record, &outcome);
-            match outcome.gathering() {
+            // A crashed agent can never declare, so a faulty cell's
+            // success criterion is the survivors' agreement — exactly the
+            // paper's gathering property restricted to the living. The
+            // fault-free path keeps the full validator, byte for byte.
+            let gathering = if scenario.fault.is_none() {
+                outcome.gathering()
+            } else {
+                outcome.gathering_surviving()
+            };
+            match gathering {
                 Ok(report) => {
                     // All three variants elect a leader on success; a
                     // unanimous `None` is agreement in the engine's eyes
@@ -244,6 +263,7 @@ fn fill_outcome(record: &mut RunRecord, outcome: &RunOutcome) {
     record.rounds = outcome.rounds;
     record.moves = outcome.total_moves;
     record.blocked_moves = outcome.blocked_moves;
+    record.crashed_agents = outcome.crashed_agents.len() as u32;
     record.engine_iterations = outcome.engine_iterations;
     record.skipped_rounds = outcome.skipped_rounds;
     record.max_colocation = outcome.max_colocation;
@@ -327,6 +347,7 @@ mod tests {
                 team: vec![1, 2],
                 wake: "simul".into(),
                 topo: "static".into(),
+                fault: "none".into(),
                 mode: "talking".into(),
                 variant: "unknown@1".into(),
                 rep: 0,
@@ -335,6 +356,7 @@ mod tests {
             mode: CommMode::Talking,
             schedule: WakeSchedule::Simultaneous,
             topo: nochatter_sim::TopologySpec::Static,
+            fault: nochatter_sim::FaultSpec::None,
             kind: ScenarioKind::Unknown {
                 decoys: vec![],
                 est_mode: EstMode::Conservative,
@@ -363,6 +385,7 @@ mod tests {
                 team: vec![1, 2],
                 wake: "simul".into(),
                 topo: topo.short_name(),
+                fault: "none".into(),
                 mode: "silent".into(),
                 variant: "gather".into(),
                 rep: 0,
@@ -371,6 +394,7 @@ mod tests {
             mode: CommMode::Silent,
             schedule: WakeSchedule::Simultaneous,
             topo,
+            fault: nochatter_sim::FaultSpec::None,
             kind: ScenarioKind::Gather,
             seed: 1,
         };
@@ -398,6 +422,7 @@ mod tests {
                 team: vec![1, 2],
                 wake: "simul".into(),
                 topo: topo.short_name(),
+                fault: "none".into(),
                 mode: "silent".into(),
                 variant: "gossip-u2".into(),
                 rep: 0,
@@ -406,6 +431,7 @@ mod tests {
             mode: CommMode::Silent,
             schedule: WakeSchedule::Simultaneous,
             topo,
+            fault: nochatter_sim::FaultSpec::None,
             kind: ScenarioKind::Gossip(PayloadScheme::Uniform { len: 2 }),
             seed: 1,
         };
@@ -429,6 +455,7 @@ mod tests {
             team: vec![1, 2],
             wake: "simul".into(),
             topo: "static".into(),
+            fault: "none".into(),
             mode: "silent".into(),
             variant: "unknown@2".into(),
             rep: 0,
@@ -440,6 +467,7 @@ mod tests {
             mode: CommMode::Silent,
             schedule: WakeSchedule::Simultaneous,
             topo: nochatter_sim::TopologySpec::Static,
+            fault: nochatter_sim::FaultSpec::None,
             kind: ScenarioKind::Unknown {
                 decoys: vec![decoy],
                 est_mode: EstMode::Conservative,

@@ -8,7 +8,7 @@ use nochatter_core::CommMode;
 use nochatter_graph::dynamic::{DynamicRing, SeededEdgeFailure};
 use nochatter_graph::generators::Family;
 use nochatter_lab::{run_campaign, Campaign, Matrix, PayloadScheme, ScenarioKind};
-use nochatter_sim::{TopologySpec, WakeSchedule};
+use nochatter_sim::{CrashPoint, FaultSpec, TopologySpec, WakeSchedule};
 
 fn matrix_strategy() -> impl Strategy<Value = (Matrix, u64)> {
     (
@@ -18,12 +18,12 @@ fn matrix_strategy() -> impl Strategy<Value = (Matrix, u64)> {
         ),
         0u64..3,
         (any::<bool>(), any::<bool>()),
-        any::<bool>(),
+        (any::<bool>(), any::<bool>()),
         1u64..3,
         any::<u64>(),
     )
         .prop_map(
-            |((families, sizes), sched, (talking, dynamic), gossip, reps, seed)| {
+            |((families, sizes), sched, (talking, dynamic), (gossip, faulty), reps, seed)| {
                 let all = [
                     Family::Ring,
                     Family::Path,
@@ -68,6 +68,22 @@ fn matrix_strategy() -> impl Strategy<Value = (Matrix, u64)> {
                 } else {
                     vec![TopologySpec::Static]
                 };
+                let faults = if faulty {
+                    vec![
+                        FaultSpec::None,
+                        FaultSpec::CrashAt(vec![CrashPoint {
+                            label: nochatter_graph::Label::new(3).unwrap(),
+                            round: 40,
+                        }]),
+                        FaultSpec::SeededCrash {
+                            p: 0.001,
+                            seed: 5,
+                            max_crashes: 1,
+                        },
+                    ]
+                } else {
+                    vec![FaultSpec::None]
+                };
                 (
                     Matrix {
                         families: fams,
@@ -75,6 +91,7 @@ fn matrix_strategy() -> impl Strategy<Value = (Matrix, u64)> {
                         teams: vec![vec![2, 3]],
                         schedules,
                         topologies,
+                        faults,
                         modes,
                         kinds,
                         reps,

@@ -1,0 +1,164 @@
+//! Differential testing of the crash-fault scenario axis: the FR1 campaign
+//! crashes `f ∈ {0, 1, 2}` agents mid-run and compares the silent
+//! algorithm against the talking baseline on identical instances.
+//!
+//! Every faulty cell shares its derived seed — and with it the base ring
+//! and the exploration setup — with a fault-free twin in the same report,
+//! so these are comparisons of identical instances under different
+//! adversaries. What the suite pins:
+//!
+//! * the fault-free control column is untouched by the new axis, byte for
+//!   byte: the records of a faults-`[None]`-only campaign are identical to
+//!   the fault-free records inside the full FR1 campaign;
+//! * crash counts are surfaced in all three report formats, and only on
+//!   faulty records (the same serialization rule that keeps the golden
+//!   smoke report byte-identical);
+//! * failures under the adversary are recorded as validation errors —
+//!   never engine errors, never panics of the harness. The observed split
+//!   is itself the finding: the talking baseline survives every FR1 crash
+//!   cell (labels are read instantaneously, a dead body's label included),
+//!   while the silent algorithm — whose termination rule waits for a
+//!   `CurCard` that the dead body can no longer move — fails honestly.
+
+use std::sync::OnceLock;
+
+use nochatter_lab::{presets, run_campaign, CampaignReport, Matrix};
+use nochatter_sim::FaultSpec;
+
+fn fr1_report() -> &'static CampaignReport {
+    static REPORT: OnceLock<CampaignReport> = OnceLock::new();
+    REPORT.get_or_init(|| run_campaign(&presets::fr1_campaign(true), 0))
+}
+
+#[test]
+fn fault_free_twins_are_byte_identical_to_a_fault_free_only_run() {
+    // The same matrix with the fault axis collapsed to `None` must
+    // reproduce the fault-free records of the full campaign exactly: the
+    // axis adds cells, it never perturbs existing ones (seeds derive from
+    // the fault-independent instance sub-key).
+    let none_only = Matrix {
+        faults: vec![FaultSpec::None],
+        ..presets::fr1_matrix(true)
+    }
+    .campaign("fr1", presets::FR1_SEED)
+    .expect("collapsed matrix is well-formed");
+    let none_report = run_campaign(&none_only, 0);
+    let full = fr1_report();
+    let fault_free: Vec<_> = full
+        .records
+        .iter()
+        .filter(|r| r.key.fault == "none")
+        .cloned()
+        .collect();
+    assert_eq!(none_report.records, fault_free);
+}
+
+#[test]
+fn fault_free_control_column_all_gathers() {
+    for r in &fr1_report().records {
+        if r.key.fault == "none" {
+            assert!(r.ok, "fault-free control {} failed: {}", r.key, r.status);
+            assert_eq!(r.crashed_agents, 0, "{} crashed without a fault", r.key);
+        }
+    }
+}
+
+#[test]
+fn crashes_never_crash_the_harness_and_failures_are_validation_errors() {
+    let report = fr1_report();
+    let faulty: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.key.fault != "none")
+        .collect();
+    assert!(!faulty.is_empty(), "FR1 must contain faulty cells");
+    for r in &faulty {
+        // The adversary acted: exactly as many crashes as the spec lists.
+        let expected = 1 + r.key.fault.matches('+').count() as u32;
+        assert_eq!(r.crashed_agents, expected, "{}", r.key);
+        // Failures are honest validation errors, never harness faults.
+        assert!(
+            !r.status.starts_with("engine error") && !r.status.starts_with("unsupported"),
+            "{}: {}",
+            r.key,
+            r.status
+        );
+        if r.key.mode == "talking" {
+            // The talking baseline reads labels instantaneously — a dead
+            // body's label included — so its termination rule survives
+            // every FR1 crash cell.
+            assert!(r.ok, "talking cell {} failed: {}", r.key, r.status);
+        } else {
+            // The silent algorithm's termination waits for CurCard
+            // stability that the dead body permanently poisons: on every
+            // FR1 cell the survivors miss their own declaration. Pinning
+            // the full split keeps the finding itself under test.
+            assert!(!r.ok, "silent cell {} unexpectedly survived", r.key);
+            assert!(
+                r.status.contains("never declared"),
+                "{}: {}",
+                r.key,
+                r.status
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_counts_are_surfaced_in_the_reports() {
+    let report = fr1_report();
+    let json = report.to_json();
+    // Faulty records carry the fault fields...
+    assert!(json.contains("\"fault\": \"crash3@64\""));
+    assert!(json.contains("\"crashed_agents\": 1"));
+    assert!(json.contains("\"fault\": \"crash3@64+5@2048\""));
+    // ...fault-free records keep the exact pre-fault shape (the rule that
+    // keeps the golden smoke report byte-identical).
+    for line in json.lines() {
+        if line.contains("\"fault\": \"none\"") {
+            panic!("fault-free records must not serialize a fault field: {line}");
+        }
+    }
+    // The CSV carries the columns for every row.
+    let header = report.to_csv();
+    let header = header.lines().next().unwrap();
+    assert!(header.contains(",fault,"));
+    assert!(header.contains("crashed_agents"));
+    // The trajectory aggregates the total.
+    let total: u64 = report
+        .records
+        .iter()
+        .map(|r| u64::from(r.crashed_agents))
+        .sum();
+    assert!(total > 0);
+    assert!(report
+        .trajectory_json()
+        .contains(&format!("\"total_crashed_agents\": {total}")));
+}
+
+#[test]
+fn faulty_cells_pair_with_their_fault_free_twins() {
+    let report = fr1_report();
+    let pairs = report.fault_pairs("crash3@64", "none");
+    assert!(!pairs.is_empty());
+    for (faulty, twin) in &pairs {
+        assert_eq!(faulty.seed, twin.seed, "twins share the derived seed");
+        assert_eq!(faulty.n_actual, twin.n_actual);
+        assert_eq!(twin.crashed_agents, 0);
+        // The talking baseline pays no measurable round penalty for the
+        // crash on these cells (the body's label still reads instantly);
+        // the structural fact worth pinning is just that both twins ran
+        // the identical instance and the faulty one recorded its crash.
+        assert_eq!(faulty.crashed_agents, 1);
+    }
+}
+
+#[test]
+fn faulty_campaigns_are_deterministic_across_worker_counts() {
+    let campaign = presets::fr1_campaign(true);
+    let one = run_campaign(&campaign, 1);
+    let four = run_campaign(&campaign, 4);
+    assert_eq!(one.records, four.records);
+    assert_eq!(one.to_json(), four.to_json());
+    assert_eq!(one.to_csv(), four.to_csv());
+}

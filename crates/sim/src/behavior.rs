@@ -69,6 +69,23 @@ pub trait AgentBehavior {
     }
 }
 
+/// Boxed behaviors delegate — this is what lets the engine's generic
+/// behavior storage default to `Box<dyn AgentBehavior>` (the open
+/// extension point) while enum storage dispatches without a vtable.
+impl<T: AgentBehavior + ?Sized> AgentBehavior for Box<T> {
+    fn on_round(&mut self, obs: &Obs) -> AgentAct {
+        (**self).on_round(obs)
+    }
+
+    fn min_wait(&self) -> u64 {
+        (**self).min_wait()
+    }
+
+    fn note_skipped(&mut self, rounds: u64) {
+        (**self).note_skipped(rounds)
+    }
+}
+
 /// Adapts a [`Procedure`] into an [`AgentBehavior`]: when the procedure
 /// completes, the agent declares.
 ///

@@ -1,10 +1,11 @@
 //! The deterministic synchronous execution engine.
 
 use nochatter_graph::dynamic::{Static, Topology, TopologyView};
-use nochatter_graph::{Graph, Label, NodeId};
+use nochatter_graph::{Graph, Label, NodeId, Port};
 
 use crate::behavior::{AgentAct, AgentBehavior};
 use crate::error::SimError;
+use crate::fault::FaultSpec;
 use crate::obs::Obs;
 use crate::outcome::{DeclarationRecord, RunOutcome, RunStatus};
 use crate::schedule::WakeSchedule;
@@ -21,19 +22,113 @@ pub enum Sensing {
     Traditional,
 }
 
-struct AgentState {
-    label: Label,
-    behavior: Box<dyn AgentBehavior>,
-    pos: NodeId,
-    awake: bool,
-    just_woken: bool,
-    /// The agent's previous move attempt hit an absent edge (round-varying
-    /// topologies only); reported through the next observation, then
-    /// cleared.
-    blocked: bool,
-    entry_port: Option<nochatter_graph::Port>,
-    declared: Option<DeclarationRecord>,
-    adversary_wake: u64,
+/// An agent's lifecycle phase — the explicit state machine the engine's
+/// poll/apply loops match on:
+///
+/// ```text
+/// Dormant ──wake──▶ Active ⇄ Blocked
+///    │                 │        │
+///    │                 ├──▶ Declared   (terminal)
+///    └───────crash────▶┴──▶ Crashed    (terminal)
+/// ```
+///
+/// `Dormant` agents sleep until the adversary's wake round or the first
+/// visit. `Active` agents are polled once per round. `Blocked` is the
+/// one-observation state after a move attempt hit an absent edge
+/// (round-varying topologies only): the agent is still executing, sees
+/// `blocked: true` in its next observation, and reverts to `Active` the
+/// moment it is polled. `Declared` and `Crashed` are terminal — the agent
+/// never acts again, but its body stays on its node and keeps counting
+/// toward `CurCard`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AgentPhase {
+    /// Asleep; woken by the adversary's schedule or by the first visitor.
+    #[default]
+    Dormant,
+    /// Awake and executing its behavior.
+    Active,
+    /// Awake; the previous move attempt hit an absent edge, which the next
+    /// observation reports (then back to [`AgentPhase::Active`]).
+    Blocked,
+    /// Declared that gathering is achieved; halted at its node.
+    Declared,
+    /// Crashed by the fault adversary; its body stays at its node.
+    Crashed,
+}
+
+impl AgentPhase {
+    /// True for the terminal phases ([`AgentPhase::Declared`] and
+    /// [`AgentPhase::Crashed`]): the agent will never act again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, AgentPhase::Declared | AgentPhase::Crashed)
+    }
+
+    /// True for the executing phases ([`AgentPhase::Active`] and
+    /// [`AgentPhase::Blocked`]): the agent is polled this round.
+    pub fn is_executing(self) -> bool {
+        matches!(self, AgentPhase::Active | AgentPhase::Blocked)
+    }
+}
+
+/// Struct-of-arrays agent storage.
+///
+/// The round loop touches the small per-agent scalars (phase, position,
+/// wake/crash rounds) far more often than the behavior state machines, so
+/// each field lives in its own contiguous array instead of one
+/// array-of-structs row per agent. Behaviors are stored *inline* in their
+/// own vector — generic over `B`, so the built-in algorithm stack
+/// enum-dispatches with no per-agent `Box` and no vtable call — while
+/// `B = Box<dyn AgentBehavior>` (the default) keeps the open extension
+/// point.
+struct AgentArena<B> {
+    labels: Vec<Label>,
+    pos: Vec<NodeId>,
+    phase: Vec<AgentPhase>,
+    /// True exactly until the first poll after waking.
+    just_woken: Vec<bool>,
+    entry_port: Vec<Option<Port>>,
+    declared: Vec<Option<DeclarationRecord>>,
+    /// Adversary wake round (`u64::MAX` = wake-on-visit only).
+    adversary_wake: Vec<u64>,
+    /// Resolved crash round (`u64::MAX` = never); cleared once applied.
+    crash_round: Vec<u64>,
+    behaviors: Vec<B>,
+}
+
+impl<B> AgentArena<B> {
+    fn new() -> Self {
+        AgentArena {
+            labels: Vec::new(),
+            pos: Vec::new(),
+            phase: Vec::new(),
+            just_woken: Vec::new(),
+            entry_port: Vec::new(),
+            declared: Vec::new(),
+            adversary_wake: Vec::new(),
+            crash_round: Vec::new(),
+            behaviors: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    fn push(&mut self, label: Label, start: NodeId, behavior: B) {
+        self.labels.push(label);
+        self.pos.push(start);
+        self.phase.push(AgentPhase::Dormant);
+        self.just_woken.push(false);
+        self.entry_port.push(None);
+        self.declared.push(None);
+        self.adversary_wake.push(u64::MAX);
+        self.crash_round.push(u64::MAX);
+        self.behaviors.push(behavior);
+    }
 }
 
 /// Reusable per-run working memory for [`Engine::run_with_scratch`].
@@ -47,8 +142,9 @@ struct AgentState {
 /// The scratch carries no semantic state between runs: a run leaves its
 /// dirt behind and the next run's internal `prepare` clears exactly the
 /// entries the previous run touched. Reusing one scratch across graphs of
-/// different sizes, after failed runs, or across sensing modes is always
-/// safe — [`Engine::run`] and [`Engine::run_with_scratch`] produce bitwise
+/// different sizes, after failed runs, across sensing modes or across
+/// engines with different behavior storage types is always safe —
+/// [`Engine::run`] and [`Engine::run_with_scratch`] produce bitwise
 /// identical [`RunOutcome`]s.
 #[derive(Default)]
 pub struct EngineScratch {
@@ -95,35 +191,61 @@ impl EngineScratch {
     }
 }
 
+/// Everything the round loop accumulates about a run — the context struct
+/// handed to the finish step (instead of a parameter per counter).
+#[derive(Default)]
+struct RunStats {
+    total_moves: u64,
+    blocked_moves: u64,
+    engine_iterations: u64,
+    skipped_rounds: u64,
+    max_colocation: u32,
+    last_declaration_round: u64,
+    last_crash_round: u64,
+}
+
 /// The synchronous-round executor.
 ///
 /// Build it over a graph, add agents (label, start node, behavior), pick a
 /// wake schedule and sensing mode, then [`Engine::run`]. The engine is fully
 /// deterministic: identical inputs produce identical runs, bit for bit.
 ///
-/// The engine is generic over a [`TopologyView`]: every round, move
-/// resolution consults the view before traversing an edge, so the same
-/// loop executes static networks and round-varying ones (periodic outages,
-/// seeded edge failures, the dynamic-ring adversary — see
-/// [`nochatter_graph::dynamic`]). The default [`Static`] view answers a
-/// constant `true` that the optimizer folds away: [`Engine::new`] compiles
-/// to exactly the pre-dynamic code. An agent taking a port whose edge is
-/// absent this round stays put, keeps its entry port, and sees
-/// `blocked: true` in its next [`Obs`].
+/// The engine is generic along two axes:
+///
+/// * a [`TopologyView`] `V`: every round, move resolution consults the view
+///   before traversing an edge, so the same loop executes static networks
+///   and round-varying ones (periodic outages, seeded edge failures, the
+///   dynamic-ring adversary — see [`nochatter_graph::dynamic`]). The
+///   default [`Static`] view answers a constant `true` that the optimizer
+///   folds away. An agent taking a port whose edge is absent this round
+///   stays put, keeps its entry port, and sees `blocked: true` in its next
+///   [`Obs`].
+/// * a behavior storage type `B`: agents live in a struct-of-arrays arena
+///   with their behaviors stored inline in a `Vec<B>`. The default
+///   `B = Box<dyn AgentBehavior>` is the open extension point (exactly the
+///   historical engine); instantiating `B` with an enum such as
+///   `nochatter_core`'s `BehaviorSlot` dispatches the whole built-in
+///   algorithm stack without a heap allocation or vtable call per agent.
+///
+/// Agent lifecycle is the explicit [`AgentPhase`] state machine, and the
+/// optional [`FaultSpec`] crash adversary ([`Engine::set_faults`]) can move
+/// agents to [`AgentPhase::Crashed`] mid-run: they stop acting, their
+/// bodies keep counting toward `CurCard`.
 ///
 /// See the [crate docs](crate) for a complete example.
-pub struct Engine<'g, V: TopologyView = Static> {
+pub struct Engine<'g, V: TopologyView = Static, B: AgentBehavior = Box<dyn AgentBehavior>> {
     graph: &'g Graph,
     view: V,
-    agents: Vec<AgentState>,
+    agents: AgentArena<B>,
     schedule: WakeSchedule,
     sensing: Sensing,
+    faults: FaultSpec,
     trace_capacity: Option<usize>,
 }
 
 impl<'g> Engine<'g> {
     /// A fresh engine over the static `graph` with no agents, simultaneous
-    /// wake-up and weak sensing.
+    /// wake-up, weak sensing, boxed behaviors and no faults.
     pub fn new(graph: &'g Graph) -> Self {
         Engine::with_topology(graph, &Static)
     }
@@ -132,31 +254,33 @@ impl<'g> Engine<'g> {
 impl<'g, V: TopologyView> Engine<'g, V> {
     /// A fresh engine over `graph` under a round-varying topology: the
     /// provider's [`TopologyView`] decides, per round, which edges of the
-    /// base graph are present.
+    /// base graph are present. Behaviors are boxed (the open extension
+    /// point); use [`Engine::with_parts`] to choose the storage type too.
     pub fn with_topology<T: Topology<View = V>>(graph: &'g Graph, topology: &T) -> Self {
+        Engine::with_parts(graph, topology)
+    }
+}
+
+impl<'g, V: TopologyView, B: AgentBehavior> Engine<'g, V, B> {
+    /// The fully generic constructor: choose the round-varying topology
+    /// *and* the behavior storage type `B`. `nochatter_core` instantiates
+    /// `B` with its `BehaviorSlot` enum so the built-in algorithm stack
+    /// runs without per-agent boxing.
+    pub fn with_parts<T: Topology<View = V>>(graph: &'g Graph, topology: &T) -> Self {
         Engine {
             graph,
             view: topology.view(graph),
-            agents: Vec::new(),
+            agents: AgentArena::new(),
             schedule: WakeSchedule::Simultaneous,
             sensing: Sensing::Weak,
+            faults: FaultSpec::None,
             trace_capacity: None,
         }
     }
 
     /// Adds an agent with the given label, start node and behavior.
-    pub fn add_agent(&mut self, label: Label, start: NodeId, behavior: Box<dyn AgentBehavior>) {
-        self.agents.push(AgentState {
-            label,
-            behavior,
-            pos: start,
-            awake: false,
-            just_woken: false,
-            blocked: false,
-            entry_port: None,
-            declared: None,
-            adversary_wake: u64::MAX,
-        });
+    pub fn add_agent(&mut self, label: Label, start: NodeId, behavior: B) {
+        self.agents.push(label, start, behavior);
     }
 
     /// Chooses the adversary's wake schedule (default: simultaneous).
@@ -167,6 +291,12 @@ impl<'g, V: TopologyView> Engine<'g, V> {
     /// Chooses the sensing model (default: weak).
     pub fn set_sensing(&mut self, sensing: Sensing) {
         self.sensing = sensing;
+    }
+
+    /// Chooses the crash-fault adversary (default: [`FaultSpec::None`]).
+    /// Resolved against the team during validation; see [`FaultSpec`].
+    pub fn set_faults(&mut self, faults: FaultSpec) {
+        self.faults = faults;
     }
 
     /// Enables event tracing with the given capacity.
@@ -209,12 +339,13 @@ impl<'g, V: TopologyView> Engine<'g, V> {
         // conflicting pair as (i, j) with j > i, position before label.
         order.clear();
         order.extend(0..self.agents.len());
-        let pos_pair = Self::min_duplicate_pair(order, |i| self.agents[i].pos);
-        let label_pair = Self::min_duplicate_pair(order, |i| self.agents[i].label);
+        let pos_pair = Self::min_duplicate_pair(order, |i| self.agents.pos[i]);
+        let label_pair = Self::min_duplicate_pair(order, |i| self.agents.labels[i]);
         let oob = self
             .agents
+            .pos
             .iter()
-            .position(|a| !self.graph.contains(a.pos))
+            .position(|&p| !self.graph.contains(p))
             .map(|i| (i, i));
         // (i, j, check-rank): out-of-range ranks before the pair checks of
         // the same row (its j equals i), position before label at a tie.
@@ -229,17 +360,17 @@ impl<'g, V: TopologyView> Engine<'g, V> {
         match first {
             Some((i, _, 0)) => {
                 return Err(SimError::StartOutOfRange {
-                    node: self.agents[i].pos,
+                    node: self.agents.pos[i],
                 })
             }
             Some((i, _, 1)) => {
                 return Err(SimError::SharedStart {
-                    node: self.agents[i].pos,
+                    node: self.agents.pos[i],
                 })
             }
             Some((i, _, _)) => {
                 return Err(SimError::DuplicateLabel {
-                    label: self.agents[i].label,
+                    label: self.agents.labels[i],
                 })
             }
             None => {}
@@ -248,13 +379,17 @@ impl<'g, V: TopologyView> Engine<'g, V> {
             .schedule
             .wake_rounds(self.agents.len())
             .map_err(|reason| SimError::BadWakeSchedule { reason })?;
-        for (agent, round) in self.agents.iter_mut().zip(wake) {
-            agent.adversary_wake = round;
-        }
+        self.agents.adversary_wake.copy_from_slice(&wake);
+        let crashes = self
+            .faults
+            .crash_rounds(&self.agents.labels)
+            .map_err(|reason| SimError::BadFaultSpec { reason })?;
+        self.agents.crash_round.copy_from_slice(&crashes);
         Ok(())
     }
 
-    /// Runs until every agent has declared or `max_rounds` have elapsed.
+    /// Runs until every agent has reached a terminal phase or `max_rounds`
+    /// have elapsed.
     ///
     /// Allocates a fresh [`EngineScratch`] — when executing many runs in a
     /// row, build one scratch and use [`Engine::run_with_scratch`] instead.
@@ -283,42 +418,75 @@ impl<'g, V: TopologyView> Engine<'g, V> {
         self.validate(&mut scratch.validate_order)?;
         let mut trace = self.trace_capacity.map(Trace::with_capacity);
         let n = self.graph.node_count();
-        scratch.prepare(n, self.agents.len());
+        let k = self.agents.len();
+        scratch.prepare(n, k);
         let EngineScratch {
             card,
             occupants,
             touched,
             acts,
-            labels,
+            labels: label_buf,
             ..
         } = scratch;
         // Occupancy buckets feed only the traditional-sensing peer-label
         // observation; the silent model pays nothing for them.
         let bucket_occupants = self.sensing == Sensing::Traditional;
-        let mut total_moves = 0u64;
-        let mut blocked_moves = 0u64;
-        let mut engine_iterations = 0u64;
-        let mut skipped_rounds = 0u64;
-        let mut max_colocation = 0u32;
+        // Crash machinery is engaged only while some resolved crash is
+        // still pending: under `FaultSpec::None` this stays 0 and the
+        // whole fault phase is one untaken branch per round.
+        let mut pending_crashes = self
+            .agents
+            .crash_round
+            .iter()
+            .filter(|&&r| r != u64::MAX)
+            .count();
+        let mut stats = RunStats::default();
         let mut round: u64 = 0;
-        let mut last_declaration_round = 0u64;
 
         while round < max_rounds {
-            engine_iterations += 1;
+            stats.engine_iterations += 1;
             // Advance the topology to this round. Fast-forwarded rounds are
             // skipped soundly: a view is a pure function of the round
             // number, and edge presence is unobservable in a round where
             // every active agent waits.
             self.view.begin_round(round);
 
+            // 0. Crash faults due this round. Crashes precede wake-ups: an
+            // agent crashing in its wake round never wakes. A crash round
+            // on an already-declared agent resolves to nothing — the
+            // declaration stands. Either way the entry is cleared, so
+            // `pending_crashes` reaches 0 and the branch disappears.
+            if pending_crashes > 0 {
+                for i in 0..k {
+                    if self.agents.crash_round[i] <= round {
+                        self.agents.crash_round[i] = u64::MAX;
+                        pending_crashes -= 1;
+                        if self.agents.phase[i] == AgentPhase::Declared {
+                            continue;
+                        }
+                        self.agents.phase[i] = AgentPhase::Crashed;
+                        stats.last_crash_round = stats.last_crash_round.max(round);
+                        if let Some(t) = trace.as_mut() {
+                            t.push(TraceEvent::Crashed {
+                                agent: self.agents.labels[i],
+                                round,
+                                node: self.agents.pos[i],
+                            });
+                        }
+                    }
+                }
+            }
+
             // 1. Adversary wake-ups scheduled for this round.
-            for a in &mut self.agents {
-                if !a.awake && a.adversary_wake <= round {
-                    a.awake = true;
-                    a.just_woken = true;
+            for i in 0..k {
+                if self.agents.phase[i] == AgentPhase::Dormant
+                    && self.agents.adversary_wake[i] <= round
+                {
+                    self.agents.phase[i] = AgentPhase::Active;
+                    self.agents.just_woken[i] = true;
                     if let Some(t) = trace.as_mut() {
                         t.push(TraceEvent::Wake {
-                            agent: a.label,
+                            agent: self.agents.labels[i],
                             round,
                             by_visit: false,
                         });
@@ -326,38 +494,42 @@ impl<'g, V: TopologyView> Engine<'g, V> {
                 }
             }
 
-            // 2. Occupancy, counting every agent physically present. Only
-            // the ≤ k occupied nodes are bucketed and recorded in
-            // `touched`; the end-of-round wipe clears exactly those, so no
-            // phase of the loop scans all n nodes.
-            for a in &self.agents {
-                let node = a.pos.index();
+            // 2. Occupancy, counting every agent physically present —
+            // dormant, declared and crashed bodies included (the paper's
+            // sensing model counts bodies, not executions). Only the ≤ k
+            // occupied nodes are bucketed and recorded in `touched`; the
+            // end-of-round wipe clears exactly those, so no phase of the
+            // loop scans all n nodes.
+            for (&pos, &label) in self.agents.pos.iter().zip(self.agents.labels.iter()) {
+                let node = pos.index();
                 if card[node] == 0 {
                     touched.push(node as u32);
                 }
                 card[node] += 1;
                 if bucket_occupants {
-                    occupants[node].push(a.label);
+                    occupants[node].push(label);
                 }
             }
             for &node in touched.iter() {
-                max_colocation = max_colocation.max(card[node as usize]);
+                stats.max_colocation = stats.max_colocation.max(card[node as usize]);
             }
 
-            // 3. Wake-on-visit: a dormant agent co-located with any awake or
-            // declared agent starts executing this round. Two dormant agents
-            // can never share a node (starts are distinct and dormant agents
-            // do not move), so any co-located company is awake or declared.
-            for i in 0..self.agents.len() {
-                if self.agents[i].awake {
+            // 3. Wake-on-visit: a dormant agent co-located with any other
+            // body starts executing this round. Two dormant agents can
+            // never share a node (starts are distinct and dormant agents do
+            // not move), so any co-located company is awake, declared or
+            // crashed — and a body is a body: a crashed agent wakes a
+            // sleeper exactly as a declared one does.
+            for i in 0..k {
+                if self.agents.phase[i] != AgentPhase::Dormant {
                     continue;
                 }
-                if card[self.agents[i].pos.index()] > 1 {
-                    self.agents[i].awake = true;
-                    self.agents[i].just_woken = true;
+                if card[self.agents.pos[i].index()] > 1 {
+                    self.agents.phase[i] = AgentPhase::Active;
+                    self.agents.just_woken[i] = true;
                     if let Some(t) = trace.as_mut() {
                         t.push(TraceEvent::Wake {
-                            agent: self.agents[i].label,
+                            agent: self.agents.labels[i],
                             round,
                             by_visit: true,
                         });
@@ -365,44 +537,48 @@ impl<'g, V: TopologyView> Engine<'g, V> {
                 }
             }
 
-            // 4. Poll every awake, undeclared agent (simultaneously: all
-            // observations are computed from the same positions).
+            // 4. Poll every executing agent (simultaneously: all
+            // observations are computed from the same positions). A
+            // `Blocked` agent reports its failed attempt through the
+            // observation and reverts to `Active`.
             let mut all_waited = true;
             let mut any_active = false;
-            for (slot, a) in acts.iter_mut().zip(self.agents.iter_mut()) {
+            for (i, slot) in acts.iter_mut().enumerate() {
                 *slot = None;
-                if !a.awake || a.declared.is_some() {
+                let phase = self.agents.phase[i];
+                if !phase.is_executing() {
                     continue;
                 }
                 any_active = true;
+                let pos = self.agents.pos[i];
                 let peer_labels = match self.sensing {
                     Sensing::Weak => None,
                     Sensing::Traditional => {
                         // The node's bucket lists everyone present in agent
                         // order; fill and sort the one scratch buffer, and
                         // lend it to the observation instead of allocating.
-                        labels.clear();
-                        labels.extend_from_slice(&occupants[a.pos.index()]);
-                        labels.sort_unstable();
-                        Some(std::mem::take(labels))
+                        label_buf.clear();
+                        label_buf.extend_from_slice(&occupants[pos.index()]);
+                        label_buf.sort_unstable();
+                        Some(std::mem::take(label_buf))
                     }
                 };
                 let mut obs = Obs {
                     round,
-                    degree: self.graph.degree(a.pos),
-                    cur_card: card[a.pos.index()],
-                    entry_port: a.entry_port,
-                    just_woken: a.just_woken,
-                    blocked: a.blocked,
+                    degree: self.graph.degree(pos),
+                    cur_card: card[pos.index()],
+                    entry_port: self.agents.entry_port[i],
+                    just_woken: self.agents.just_woken[i],
+                    blocked: phase == AgentPhase::Blocked,
                     peer_labels,
                 };
-                let act = a.behavior.on_round(&obs);
+                let act = self.agents.behaviors[i].on_round(&obs);
                 // Reclaim the lent label buffer (and its capacity).
                 if let Some(buf) = obs.peer_labels.take() {
-                    *labels = buf;
+                    *label_buf = buf;
                 }
-                a.just_woken = false;
-                a.blocked = false;
+                self.agents.just_woken[i] = false;
+                self.agents.phase[i] = AgentPhase::Active;
                 if !matches!(act, AgentAct::Wait) {
                     all_waited = false;
                 }
@@ -410,26 +586,27 @@ impl<'g, V: TopologyView> Engine<'g, V> {
             }
 
             // 5. Apply actions simultaneously.
-            for (act, a) in acts.iter().zip(self.agents.iter_mut()) {
+            for (i, act) in acts.iter().enumerate() {
                 let Some(act) = *act else { continue };
                 match act {
                     AgentAct::Wait => {}
                     AgentAct::TakePort(p) => {
-                        match self.graph.neighbor(a.pos, p) {
+                        let pos = self.agents.pos[i];
+                        match self.graph.neighbor(pos, p) {
                             // A port that exists in the base graph but whose
                             // edge is absent this round blocks: the agent
                             // stays put (entry port untouched) and its next
                             // observation reports it. A nonexistent port is
                             // still a protocol violation — dynamics never
                             // change the degree an agent observes.
-                            Some(_) if !self.view.edge_present(a.pos, p) => {
-                                a.blocked = true;
-                                blocked_moves += 1;
+                            Some(_) if !self.view.edge_present(pos, p) => {
+                                self.agents.phase[i] = AgentPhase::Blocked;
+                                stats.blocked_moves += 1;
                                 if let Some(t) = trace.as_mut() {
                                     t.push(TraceEvent::Blocked {
-                                        agent: a.label,
+                                        agent: self.agents.labels[i],
                                         round,
-                                        node: a.pos,
+                                        node: pos,
                                         port: p,
                                     });
                                 }
@@ -437,21 +614,21 @@ impl<'g, V: TopologyView> Engine<'g, V> {
                             Some((to, back)) => {
                                 if let Some(t) = trace.as_mut() {
                                     t.push(TraceEvent::Move {
-                                        agent: a.label,
+                                        agent: self.agents.labels[i],
                                         round,
-                                        from: a.pos,
+                                        from: pos,
                                         to,
                                         port: p,
                                     });
                                 }
-                                a.pos = to;
-                                a.entry_port = Some(back);
-                                total_moves += 1;
+                                self.agents.pos[i] = to;
+                                self.agents.entry_port[i] = Some(back);
+                                stats.total_moves += 1;
                             }
                             None => {
                                 return Err(SimError::InvalidPort {
-                                    agent: a.label,
-                                    node: a.pos,
+                                    agent: self.agents.labels[i],
+                                    node: pos,
                                     port: p,
                                     round,
                                 });
@@ -459,17 +636,18 @@ impl<'g, V: TopologyView> Engine<'g, V> {
                         }
                     }
                     AgentAct::Declare(d) => {
-                        a.declared = Some(DeclarationRecord {
+                        self.agents.declared[i] = Some(DeclarationRecord {
                             round,
-                            node: a.pos,
+                            node: self.agents.pos[i],
                             declaration: d,
                         });
-                        last_declaration_round = last_declaration_round.max(round);
+                        self.agents.phase[i] = AgentPhase::Declared;
+                        stats.last_declaration_round = stats.last_declaration_round.max(round);
                         if let Some(t) = trace.as_mut() {
                             t.push(TraceEvent::Declare {
-                                agent: a.label,
+                                agent: self.agents.labels[i],
                                 round,
-                                node: a.pos,
+                                node: self.agents.pos[i],
                                 declaration: d,
                             });
                         }
@@ -485,85 +663,108 @@ impl<'g, V: TopologyView> Engine<'g, V> {
                 occupants[node as usize].clear();
             }
 
-            if self.agents.iter().all(|a| a.declared.is_some()) {
-                return Ok(self.finish(
-                    RunStatus::AllDeclared,
-                    last_declaration_round,
-                    total_moves,
-                    blocked_moves,
-                    engine_iterations,
-                    skipped_rounds,
-                    max_colocation,
-                    trace,
-                ));
+            // A run ends when every agent is terminal. All declared is the
+            // paper's successful end; any crash among otherwise-declared
+            // agents halts the run early too — nothing can change anymore —
+            // but reports `Halted` (the crashed agents never declared).
+            if self.agents.phase.iter().all(|p| p.is_terminal()) {
+                let crashed = self.agents.phase.contains(&AgentPhase::Crashed);
+                let (status, rounds) = if crashed {
+                    (
+                        RunStatus::Halted,
+                        stats.last_declaration_round.max(stats.last_crash_round),
+                    )
+                } else {
+                    (RunStatus::AllDeclared, stats.last_declaration_round)
+                };
+                return Ok(self.finish(status, rounds, stats, trace));
             }
 
             round += 1;
 
             // 6. Quiescence fast-forward: if every active agent waited, no
-            // observation can change until either some procedure stops
-            // waiting or the adversary wakes someone. Skip ahead by the
-            // largest provably quiet stretch.
+            // observation can change until some procedure stops waiting,
+            // the adversary wakes someone, or a fault crashes someone.
+            // Skip ahead by the largest provably quiet stretch.
             if all_waited && any_active {
                 let mut skip = u64::MAX;
-                for a in &self.agents {
-                    if a.awake && a.declared.is_none() {
-                        skip = skip.min(a.behavior.min_wait());
+                for (&phase, behavior) in self.agents.phase.iter().zip(self.agents.behaviors.iter())
+                {
+                    if phase.is_executing() {
+                        skip = skip.min(behavior.min_wait());
                     }
                 }
                 // Respect pending adversary wake-ups...
-                for a in &self.agents {
-                    if !a.awake && a.adversary_wake != u64::MAX {
-                        skip = skip.min(a.adversary_wake.saturating_sub(round));
+                for (&phase, &wake) in self
+                    .agents
+                    .phase
+                    .iter()
+                    .zip(self.agents.adversary_wake.iter())
+                {
+                    if phase == AgentPhase::Dormant && wake != u64::MAX {
+                        skip = skip.min(wake.saturating_sub(round));
+                    }
+                }
+                // ...pending crashes (a crash mid-stretch must execute in
+                // its exact round: the agent stops acting from then on)...
+                if pending_crashes > 0 {
+                    for &crash in &self.agents.crash_round {
+                        if crash != u64::MAX {
+                            skip = skip.min(crash.saturating_sub(round));
+                        }
                     }
                 }
                 // ...and the round limit.
                 skip = skip.min(max_rounds.saturating_sub(round));
                 if skip > 0 && skip != u64::MAX {
-                    for a in &mut self.agents {
-                        if a.awake && a.declared.is_none() {
-                            a.behavior.note_skipped(skip);
+                    for (&phase, behavior) in self
+                        .agents
+                        .phase
+                        .iter()
+                        .zip(self.agents.behaviors.iter_mut())
+                    {
+                        if phase.is_executing() {
+                            behavior.note_skipped(skip);
                         }
                     }
                     round += skip;
-                    skipped_rounds += skip;
+                    stats.skipped_rounds += skip;
                 }
             }
         }
 
-        Ok(self.finish(
-            RunStatus::RoundLimit,
-            max_rounds,
-            total_moves,
-            blocked_moves,
-            engine_iterations,
-            skipped_rounds,
-            max_colocation,
-            trace,
-        ))
+        Ok(self.finish(RunStatus::RoundLimit, max_rounds, stats, trace))
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn finish(
         self,
         status: RunStatus,
         rounds: u64,
-        total_moves: u64,
-        blocked_moves: u64,
-        engine_iterations: u64,
-        skipped_rounds: u64,
-        max_colocation: u32,
+        stats: RunStats,
         trace: Option<Trace>,
     ) -> RunOutcome {
+        let AgentArena {
+            labels,
+            phase,
+            declared,
+            ..
+        } = self.agents;
+        let crashed_agents = labels
+            .iter()
+            .zip(phase.iter())
+            .filter(|&(_, &p)| p == AgentPhase::Crashed)
+            .map(|(&l, _)| l)
+            .collect();
         RunOutcome {
             status,
             rounds,
-            declarations: self.agents.iter().map(|a| (a.label, a.declared)).collect(),
-            total_moves,
-            blocked_moves,
-            engine_iterations,
-            skipped_rounds,
-            max_colocation,
+            declarations: labels.into_iter().zip(declared).collect(),
+            crashed_agents,
+            total_moves: stats.total_moves,
+            blocked_moves: stats.blocked_moves,
+            engine_iterations: stats.engine_iterations,
+            skipped_rounds: stats.skipped_rounds,
+            max_colocation: stats.max_colocation,
             trace,
         }
     }
@@ -573,6 +774,7 @@ impl<'g, V: TopologyView> Engine<'g, V> {
 mod tests {
     use super::*;
     use crate::behavior::Declaration;
+    use crate::fault::CrashPoint;
     use crate::obs::{Action, Poll};
     use crate::proc::{ProcBehavior, Procedure, WaitRounds};
     use nochatter_graph::{generators, Port};
@@ -1179,5 +1381,254 @@ mod tests {
         // Agent 2 saw 2 after moving onto node 0.
         assert_eq!(outcome.declarations[1].1.unwrap().declaration.size, Some(2));
         assert_eq!(outcome.max_colocation, 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-fault adversary semantics.
+    // ------------------------------------------------------------------
+
+    /// Walks clockwise forever.
+    struct WalkForever;
+    impl Procedure for WalkForever {
+        type Output = ();
+        fn poll(&mut self, _obs: &Obs) -> Poll<()> {
+            Poll::Yield(Action::TakePort(Port::new(1)))
+        }
+    }
+
+    fn crash_at(points: &[(u64, u64)]) -> FaultSpec {
+        FaultSpec::CrashAt(
+            points
+                .iter()
+                .map(|&(l, round)| CrashPoint {
+                    label: label(l),
+                    round,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn crashed_agent_stops_moving_but_keeps_its_body() {
+        let g = generators::ring(6);
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(WalkForever)),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(3),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(20))),
+        );
+        engine.set_faults(crash_at(&[(1, 2)]));
+        engine.record_trace(256);
+        let outcome = engine.run(30).unwrap();
+        // The walker made exactly 2 moves (rounds 0 and 1) and then froze
+        // at node 2.
+        assert_eq!(outcome.total_moves, 2);
+        assert_eq!(outcome.crashed_agents, vec![label(1)]);
+        let trace = outcome.trace.as_ref().unwrap();
+        assert!(trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Crashed { agent, round: 2, node } if *agent == label(1) && *node == NodeId::new(2)
+        )));
+        // No event of agent 1 after its crash round.
+        for e in trace.events() {
+            if let TraceEvent::Move { agent, round, .. } = e {
+                assert!(*agent != label(1) || *round < 2, "moved after crashing");
+            }
+        }
+        // Agent 2 declared; the run ended Halted (a crash prevented
+        // all-declared) at the last declaration round.
+        assert_eq!(outcome.status, RunStatus::Halted);
+        assert!(outcome.declarations[1].1.is_some());
+        assert!(outcome.gathering().is_err());
+    }
+
+    #[test]
+    fn crashed_body_still_counts_toward_cur_card_and_wakes_sleepers() {
+        // Agent 1 walks two steps and crashes on the sleeper's node; the
+        // dormant agent 2 is woken by the crashed body and sees card 2.
+        let g = generators::ring(5);
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(WalkForever)),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(2),
+            Box::new(ProcBehavior::declaring(DeclareOnCompany)),
+        );
+        engine.set_wake_schedule(WakeSchedule::FirstOnly);
+        engine.set_faults(crash_at(&[(1, 2)]));
+        engine.record_trace(64);
+        let outcome = engine.run(20).unwrap();
+        let trace = outcome.trace.as_ref().unwrap();
+        // The body arrives at node 2 in round 2 (observed from round 2 on)
+        // and the crash (start of round 2) does not remove it: the sleeper
+        // wakes by visit and declares on company.
+        assert!(trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Wake { agent, by_visit: true, .. } if *agent == label(2)
+        )));
+        assert!(outcome.declarations[1].1.is_some(), "sleeper declared");
+        assert_eq!(outcome.crashed_agents, vec![label(1)]);
+    }
+
+    #[test]
+    fn crash_in_wake_round_preempts_the_wake() {
+        let g = generators::ring(4);
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(3))),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(2),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+        );
+        engine.set_wake_schedule(WakeSchedule::Explicit(vec![0, 5]));
+        engine.set_faults(crash_at(&[(2, 5)]));
+        engine.record_trace(64);
+        let outcome = engine.run(100).unwrap();
+        // Agent 2 never woke and never declared.
+        let trace = outcome.trace.as_ref().unwrap();
+        assert!(!trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Wake { agent, .. } if *agent == label(2))));
+        assert_eq!(outcome.crashed_agents, vec![label(2)]);
+        assert_eq!(outcome.status, RunStatus::Halted);
+        // The surviving agent still declared in its own round 3.
+        assert_eq!(outcome.declarations[0].1.unwrap().round, 3);
+        assert_eq!(outcome.rounds, 5, "halt at the crash that ended the run");
+    }
+
+    #[test]
+    fn fast_forward_respects_pending_crashes() {
+        // Both agents wait enormously long; one crashes at round 700. The
+        // fast-forward must stop exactly there (the crash is an event), and
+        // the crashed agent must not declare when its wait would end.
+        let g = generators::ring(4);
+        let mut engine = Engine::new(&g);
+        for (l, pos) in [(1u64, 0u32), (2, 2)] {
+            engine.add_agent(
+                label(l),
+                NodeId::new(pos),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(1000))),
+            );
+        }
+        engine.set_faults(crash_at(&[(2, 700)]));
+        engine.record_trace(64);
+        let outcome = engine.run(10_000).unwrap();
+        assert!(
+            outcome.engine_iterations < 50,
+            "fast-forward must stay engaged around the crash, got {} iterations",
+            outcome.engine_iterations
+        );
+        let trace = outcome.trace.as_ref().unwrap();
+        assert!(trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Crashed { agent, round: 700, .. } if *agent == label(2)
+        )));
+        assert_eq!(outcome.declarations[0].1.unwrap().round, 1000);
+        assert!(outcome.declarations[1].1.is_none());
+        assert_eq!(outcome.status, RunStatus::Halted);
+        assert_eq!(outcome.rounds, 1000);
+    }
+
+    #[test]
+    fn crash_after_declaration_is_void() {
+        let g = generators::ring(4);
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(1))),
+        );
+        engine.add_agent(
+            label(2),
+            NodeId::new(2),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(1))),
+        );
+        engine.set_faults(crash_at(&[(1, 5)]));
+        let outcome = engine.run(100).unwrap();
+        // Both declared in round 1; the round-5 crash finds a declared
+        // agent and resolves to nothing.
+        assert_eq!(outcome.status, RunStatus::AllDeclared);
+        assert!(outcome.crashed_agents.is_empty());
+        assert!(outcome.gathering().is_err() || outcome.all_declared());
+    }
+
+    #[test]
+    fn all_crashed_halts_at_the_last_crash() {
+        let g = generators::ring(4);
+        let mut engine = Engine::new(&g);
+        for (l, pos) in [(1u64, 0u32), (2, 2)] {
+            engine.add_agent(
+                label(l),
+                NodeId::new(pos),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(1000))),
+            );
+        }
+        engine.set_faults(crash_at(&[(1, 3), (2, 9)]));
+        let outcome = engine.run(10_000).unwrap();
+        assert_eq!(outcome.status, RunStatus::Halted);
+        assert_eq!(outcome.rounds, 9);
+        assert_eq!(outcome.crashed_agents, vec![label(1), label(2)]);
+        assert!(outcome.gathering_surviving().is_err());
+    }
+
+    #[test]
+    fn unknown_crash_target_is_a_setup_error() {
+        let g = generators::ring(4);
+        let mut engine = Engine::new(&g);
+        for (l, pos) in [(1u64, 0u32), (2, 2)] {
+            engine.add_agent(
+                label(l),
+                NodeId::new(pos),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+            );
+        }
+        engine.set_faults(crash_at(&[(9, 1)]));
+        assert!(matches!(engine.run(10), Err(SimError::BadFaultSpec { .. })));
+    }
+
+    #[test]
+    fn survivors_gathering_validates_among_the_living() {
+        // Agent 1 crashes dormant; agents 2 and 3 gather and declare
+        // consistently. Full validation fails (agent 1 never declared);
+        // the surviving validation succeeds.
+        let g = generators::path(3);
+        let mut engine = Engine::new(&g);
+        engine.add_agent(
+            label(1),
+            NodeId::new(2),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(50))),
+        );
+        let declare_together = || {
+            Box::new(ProcBehavior::mapping(WaitRounds::new(2), |()| {
+                Declaration::with_leader(Label::new(2).unwrap())
+            }))
+        };
+        engine.add_agent(label(2), NodeId::new(0), declare_together());
+        engine.add_agent(label(3), NodeId::new(1), declare_together());
+        engine.set_faults(crash_at(&[(1, 0)]));
+        let outcome = engine.run(100).unwrap();
+        assert!(outcome.gathering().is_err());
+        let report = outcome.gathering_surviving();
+        // The two survivors declared in the same round with the same
+        // leader but at *different* nodes — surviving validation still
+        // checks full consistency.
+        assert!(matches!(
+            report,
+            Err(crate::outcome::ValidationError::DifferentNodes { .. })
+        ));
     }
 }

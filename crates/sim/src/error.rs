@@ -5,6 +5,7 @@ use std::fmt;
 
 use nochatter_graph::{Label, NodeId, Port};
 
+use crate::fault::FaultError;
 use crate::schedule::ScheduleError;
 
 /// A protocol violation or setup error detected by the engine.
@@ -47,6 +48,12 @@ pub enum SimError {
         /// The specific malformation.
         reason: ScheduleError,
     },
+    /// The crash-fault spec is malformed for the team (a crash target
+    /// outside the team, a doubly-crashed label, or a bad probability).
+    BadFaultSpec {
+        /// The specific malformation.
+        reason: FaultError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +80,9 @@ impl fmt::Display for SimError {
             ),
             SimError::BadWakeSchedule { reason } => {
                 write!(f, "bad wake schedule: {reason}")
+            }
+            SimError::BadFaultSpec { reason } => {
+                write!(f, "bad fault spec: {reason}")
             }
         }
     }

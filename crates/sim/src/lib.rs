@@ -27,6 +27,16 @@
 //! observation can change (essential for the unknown-upper-bound algorithm,
 //! whose schedule is dominated by enormous waiting periods).
 //!
+//! Agents live in a data-oriented arena: struct-of-arrays storage, an
+//! explicit [`AgentPhase`] lifecycle state machine (`Dormant → Active ⇄
+//! Blocked → Declared | Crashed`), and a behavior storage type parameter
+//! whose default `Box<dyn AgentBehavior>` is the open extension point
+//! (`nochatter_core`'s `BehaviorSlot` instantiates it with an enum so the
+//! built-in algorithm stack runs unboxed). The optional [`FaultSpec`]
+//! crash adversary kills agents mid-run: a crashed agent stops acting, but
+//! its body keeps counting toward `CurCard` — under weak sensing the
+//! survivors cannot tell a corpse from a waiting companion.
+//!
 //! # Example
 //!
 //! ```
@@ -56,6 +66,7 @@
 mod behavior;
 mod engine;
 mod error;
+mod fault;
 mod obs;
 mod outcome;
 mod schedule;
@@ -64,8 +75,9 @@ mod trace;
 pub mod proc;
 
 pub use behavior::{AgentAct, AgentBehavior, Declaration};
-pub use engine::{Engine, EngineScratch, Sensing};
+pub use engine::{AgentPhase, Engine, EngineScratch, Sensing};
 pub use error::SimError;
+pub use fault::{CrashPoint, FaultError, FaultSpec, SEEDED_CRASH_HORIZON};
 pub use obs::{Action, Obs, Poll};
 pub use outcome::{DeclarationRecord, GatheringReport, RunOutcome, RunStatus, ValidationError};
 pub use proc::Procedure;

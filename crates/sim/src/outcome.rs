@@ -24,6 +24,10 @@ pub struct DeclarationRecord {
 pub enum RunStatus {
     /// Every agent declared.
     AllDeclared,
+    /// Every agent reached a terminal phase, but at least one crashed
+    /// instead of declaring (crash-fault runs only) — nothing could change
+    /// anymore, so the engine halted early.
+    Halted,
     /// The round limit was hit first.
     RoundLimit,
 }
@@ -38,6 +42,10 @@ pub struct RunOutcome {
     pub rounds: u64,
     /// Per agent (in insertion order): its label and its declaration if any.
     pub declarations: Vec<(Label, Option<DeclarationRecord>)>,
+    /// Agents crashed by the fault adversary, in insertion order (empty
+    /// under `FaultSpec::None`). A crashed agent never declares, but its
+    /// body keeps counting toward `CurCard` for the rest of the run.
+    pub crashed_agents: Vec<Label>,
     /// Total edge traversals performed by all agents.
     pub total_moves: u64,
     /// Move attempts that hit an edge absent in their round (round-varying
@@ -76,6 +84,47 @@ impl RunOutcome {
                 None => return Err(ValidationError::NotAllDeclared { agent: *label }),
             }
         }
+        self.validate_records(&records)
+    }
+
+    /// [`RunOutcome::gathering`] restricted to the agents that did *not*
+    /// crash: every surviving agent must have declared, consistently. The
+    /// crash-fault experiments' success criterion — a crashed agent can
+    /// never declare, so full validation is unsatisfiable the moment the
+    /// adversary acts, but the survivors' agreement is still the paper's
+    /// gathering property. The elected leader may be any team member,
+    /// crashed or not (a label learned before the crash is still a valid
+    /// election). With no crashes this is exactly [`RunOutcome::gathering`].
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::NoSurvivors`] if every agent crashed; otherwise
+    /// the first violated requirement among the survivors.
+    pub fn gathering_surviving(&self) -> Result<GatheringReport, ValidationError> {
+        let mut records = Vec::with_capacity(self.declarations.len());
+        for (label, rec) in &self.declarations {
+            if self.crashed_agents.contains(label) {
+                continue;
+            }
+            match rec {
+                Some(r) => records.push((*label, *r)),
+                None => return Err(ValidationError::NotAllDeclared { agent: *label }),
+            }
+        }
+        if records.is_empty() {
+            return Err(ValidationError::NoSurvivors);
+        }
+        self.validate_records(&records)
+    }
+
+    /// The shared consistency check behind both validators: same round,
+    /// same node, same leader and size claims, leader in the team. The
+    /// team for the leader check is the full declaration list (crashed
+    /// members included), not just `records`.
+    fn validate_records(
+        &self,
+        records: &[(Label, DeclarationRecord)],
+    ) -> Result<GatheringReport, ValidationError> {
         let (first_label, first) = records[0];
         for &(label, r) in &records[1..] {
             if r.round != first.round {
@@ -104,7 +153,7 @@ impl RunOutcome {
             }
         }
         if let Some(leader) = first.declaration.leader {
-            if !records.iter().any(|&(l, _)| l == leader) {
+            if !self.declarations.iter().any(|&(l, _)| l == leader) {
                 return Err(ValidationError::LeaderNotInTeam { leader });
             }
         }
@@ -172,6 +221,9 @@ pub enum ValidationError {
         /// The phantom leader.
         leader: Label,
     },
+    /// Every agent crashed — there is no surviving gathering to validate
+    /// (only [`RunOutcome::gathering_surviving`] reports this).
+    NoSurvivors,
 }
 
 impl fmt::Display for ValidationError {
@@ -194,6 +246,9 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::LeaderNotInTeam { leader } => {
                 write!(f, "elected leader {leader} is not a team member")
+            }
+            ValidationError::NoSurvivors => {
+                write!(f, "every agent crashed; no survivors to validate")
             }
         }
     }
@@ -229,6 +284,7 @@ mod tests {
             },
             rounds: 10,
             declarations,
+            crashed_agents: Vec::new(),
             total_moves: 0,
             blocked_moves: 0,
             engine_iterations: 0,
@@ -284,6 +340,42 @@ mod tests {
         assert!(matches!(
             o.gathering(),
             Err(ValidationError::DifferentLeaders { .. })
+        ));
+    }
+
+    #[test]
+    fn surviving_validation_skips_crashed_agents() {
+        // Agent 4 crashed and never declared: full validation fails, the
+        // surviving validation accepts the singleton gathering — and a
+        // leader that happens to be the crashed agent is still in-team.
+        let mut o = outcome(vec![
+            (label(1), Some(record(9, 2, Some(4)))),
+            (label(4), None),
+        ]);
+        o.crashed_agents = vec![label(4)];
+        assert!(matches!(
+            o.gathering(),
+            Err(ValidationError::NotAllDeclared { .. })
+        ));
+        let report = o.gathering_surviving().unwrap();
+        assert_eq!(report.leader, Some(label(4)));
+        // A surviving agent that never declared still fails.
+        let mut o = outcome(vec![
+            (label(1), Some(record(9, 2, None))),
+            (label(4), None),
+            (label(6), None),
+        ]);
+        o.crashed_agents = vec![label(4)];
+        assert!(matches!(
+            o.gathering_surviving(),
+            Err(ValidationError::NotAllDeclared { agent }) if agent == label(6)
+        ));
+        // Everyone crashed: no survivors.
+        let mut o = outcome(vec![(label(1), None), (label(4), None)]);
+        o.crashed_agents = vec![label(1), label(4)];
+        assert!(matches!(
+            o.gathering_surviving(),
+            Err(ValidationError::NoSurvivors)
         ));
     }
 

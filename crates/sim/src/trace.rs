@@ -42,6 +42,17 @@ pub enum TraceEvent {
         /// The port whose edge was absent.
         port: Port,
     },
+    /// An agent was crashed by the fault adversary: it stops acting from
+    /// this round on, but its body stays at the node and keeps counting
+    /// toward `CurCard`.
+    Crashed {
+        /// The agent.
+        agent: Label,
+        /// The round from which it no longer acts.
+        round: u64,
+        /// Where its body remains.
+        node: NodeId,
+    },
     /// An agent declared that gathering is achieved.
     Declare {
         /// The agent.
@@ -62,6 +73,7 @@ impl TraceEvent {
             TraceEvent::Wake { round, .. }
             | TraceEvent::Move { round, .. }
             | TraceEvent::Blocked { round, .. }
+            | TraceEvent::Crashed { round, .. }
             | TraceEvent::Declare { round, .. } => *round,
         }
     }
