@@ -16,11 +16,15 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
 
-use nochatter_core::BehaviorSlot;
+use nochatter_core::harness::{
+    run_scenario_batch_with_scratch, run_scenario_with_scratch, GatherScenario,
+};
+use nochatter_core::{BehaviorSlot, CommMode};
 use nochatter_explore::{Explo, Uxs};
 use nochatter_graph::dynamic::SeededEdgeFailure;
-use nochatter_graph::{algo, generators, Graph, Label, NodeId, Port};
+use nochatter_graph::{algo, generators, Graph, InitialConfiguration, Label, NodeId, Port};
 use nochatter_sim::proc::{ProcBehavior, Procedure};
+use nochatter_sim::FaultSpec;
 use nochatter_sim::{
     Action, Declaration, Engine, EngineScratch, Obs, Poll, Sensing, Static, TopologySpec,
     WakeSchedule,
@@ -291,6 +295,81 @@ fn round_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// One campaign instance: the graph + team every `campaign_cells` cell
+/// shares, exactly what the lab runner's instance sub-key grouping holds
+/// fixed across a batch.
+fn campaign_instance() -> InitialConfiguration {
+    InitialConfiguration::new(
+        generators::ring(8),
+        vec![(label(2), NodeId::new(0)), (label(3), NodeId::new(4))],
+    )
+    .expect("distinct labels on distinct nodes")
+}
+
+/// The 8 execution-axis cells of one instance: 2 sensing modes × 2 wake
+/// schedules × {static, seeded edge-failure} — the cell mix a campaign
+/// sweeps per instance. All share the configuration and seed, so the
+/// batched pass builds the exploration-sequence corpus once for all 8.
+fn campaign_cells(cfg: &InitialConfiguration) -> Vec<GatherScenario<'_>> {
+    let mut cells = Vec::new();
+    for mode in [CommMode::Silent, CommMode::Talking] {
+        for schedule in [WakeSchedule::Simultaneous, WakeSchedule::FirstOnly] {
+            for topo in [
+                TopologySpec::Static,
+                TopologySpec::EdgeFailure(SeededEdgeFailure { p: 0.1, seed: 9 }),
+            ] {
+                cells.push(GatherScenario {
+                    cfg,
+                    mode,
+                    schedule: schedule.clone(),
+                    topo,
+                    fault: FaultSpec::None,
+                    seed: 2020,
+                    trace_capacity: None,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The batched-vs-solo campaign-cell pair: the same 8 cells through one
+/// `BatchEngine` pass (one setup, one interleaved loop) vs eight
+/// individual `run_scenario` calls (per-cell setup). Outcomes are bitwise
+/// identical (pinned by tests); the delta is the batching amortization the
+/// campaign runner banks on every instance group.
+fn campaign_cells_pair(c: &mut Criterion) {
+    let cfg = campaign_instance();
+    let cells = campaign_cells(&cfg);
+    let mut group = c.benchmark_group("campaign_cells");
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    group.bench_function("batched/k8", |b| {
+        let mut scratch = EngineScratch::new();
+        b.iter(|| black_box(run_scenario_batch_with_scratch(&cells, &mut scratch)))
+    });
+    group.bench_function("solo/k8", |b| {
+        let mut scratch = EngineScratch::new();
+        b.iter(|| {
+            for cell in &cells {
+                black_box(
+                    run_scenario_with_scratch(
+                        cell.cfg,
+                        cell.mode,
+                        cell.schedule.clone(),
+                        &cell.topo,
+                        &cell.fault,
+                        cell.seed,
+                        cell.trace_capacity,
+                        &mut scratch,
+                    )
+                    .expect("campaign cells run clean"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
 /// One measured trajectory entry of `BENCH_hotpath.json`.
 struct Entry {
     /// Stable workload name — identical in quick and full mode, so the CI
@@ -422,6 +501,48 @@ fn emit_trajectory(quick: bool) {
             s.iters,
             || explo_walk_boxed(&ring, &uxs, 8, &mut scratch),
         ),
+        {
+            let cfg = campaign_instance();
+            let cells = campaign_cells(&cfg);
+            measure(
+                "campaign_cells/batched/k8",
+                cells.len() as u64,
+                "cells",
+                cells.len() as u64,
+                s.iters,
+                || {
+                    black_box(run_scenario_batch_with_scratch(&cells, &mut scratch));
+                },
+            )
+        },
+        {
+            let cfg = campaign_instance();
+            let cells = campaign_cells(&cfg);
+            measure(
+                "campaign_cells/solo/k8",
+                cells.len() as u64,
+                "cells",
+                cells.len() as u64,
+                s.iters,
+                || {
+                    for cell in &cells {
+                        black_box(
+                            run_scenario_with_scratch(
+                                cell.cfg,
+                                cell.mode,
+                                cell.schedule.clone(),
+                                &cell.topo,
+                                &cell.fault,
+                                cell.seed,
+                                cell.trace_capacity,
+                                &mut scratch,
+                            )
+                            .expect("campaign cells run clean"),
+                        );
+                    }
+                },
+            )
+        },
     ];
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -476,7 +597,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = csr_traversal, round_loop
+    targets = csr_traversal, round_loop, campaign_cells_pair
 }
 
 fn main() {

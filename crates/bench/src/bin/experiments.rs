@@ -100,11 +100,17 @@ fn run_campaign_cli(args: &[String]) -> ExitCode {
         report.wall,
         report.workers
     );
+    // Rates are None when the run was too fast to time (no inflating
+    // floor); `rounds/s` counts fast-forwarded model time, `executed` is
+    // the honest work rate.
+    let fixed = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.0}"));
+    let sci = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.3e}"));
     eprintln!(
-        "throughput: {:.0} scenarios/s, {:.3e} rounds/s ({:.3e} engine iterations/s)",
-        report.scenarios_per_sec(),
-        report.rounds_per_sec(),
-        report.engine_iterations_per_sec()
+        "throughput: {} scenarios/s, {} executed rounds/s ({} model rounds/s, {} engine iterations/s)",
+        fixed(report.scenarios_per_sec()),
+        sci(report.executed_rounds_per_sec()),
+        sci(report.rounds_per_sec()),
+        sci(report.engine_iterations_per_sec())
     );
     eprintln!(
         "wrote {}, {}, {}",

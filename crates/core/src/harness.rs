@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex};
 
 use nochatter_graph::{InitialConfiguration, Label};
 use nochatter_sim::{
-    Engine, EngineScratch, FaultSpec, RunOutcome, Sensing, SimError, Static, Topology,
+    BatchEngine, Engine, EngineScratch, FaultSpec, RunOutcome, Sensing, SimError, Static, Topology,
     TopologySpec, WakeSchedule,
 };
 
@@ -296,28 +296,105 @@ pub struct GatherScenario<'a> {
     pub trace_capacity: Option<usize>,
 }
 
-/// Runs a batch of gathering scenarios back to back, threading one
-/// [`EngineScratch`] through every run so the whole batch performs no
-/// per-run engine allocations in steady state. Each entry's outcome is
-/// bitwise identical to what [`run_scenario`] returns for the same
-/// arguments; an engine error in one scenario does not abort the rest.
+/// Runs a batch of gathering scenarios through the batched multi-run
+/// engine pass. Each entry's outcome is bitwise identical to what
+/// [`run_scenario`] returns for the same arguments; an engine error in one
+/// scenario does not abort the rest.
+///
+/// Consecutive entries sharing a configuration and seed — the campaign
+/// runner's instance sub-key grouping produces exactly this layout — are
+/// executed as **one** [`BatchEngine`] over **one** [`KnownSetup`]: the
+/// certified exploration-sequence corpus, the dominant per-scenario setup
+/// cost, is built once per group instead of once per cell, and the group's
+/// runs interleave through one round loop with shared scratch. Entries
+/// that share nothing still run correctly, just without amortization.
 pub fn run_scenario_batch(batch: &[GatherScenario<'_>]) -> Vec<Result<RunOutcome, SimError>> {
-    let mut scratch = EngineScratch::new();
-    batch
-        .iter()
-        .map(|s| {
-            run_scenario_with_scratch(
-                s.cfg,
-                s.mode,
-                s.schedule.clone(),
-                &s.topo,
-                &s.fault,
-                s.seed,
-                s.trace_capacity,
-                &mut scratch,
-            )
-        })
-        .collect()
+    run_scenario_batch_with_scratch(batch, &mut EngineScratch::new())
+}
+
+/// [`run_scenario_batch`] against caller-owned engine working memory (the
+/// campaign runner threads one scratch per worker through every batch it
+/// executes). Identical outcomes, bit for bit.
+pub fn run_scenario_batch_with_scratch(
+    batch: &[GatherScenario<'_>],
+    scratch: &mut EngineScratch,
+) -> Vec<Result<RunOutcome, SimError>> {
+    let mut results = Vec::with_capacity(batch.len());
+    let mut start = 0;
+    while start < batch.len() {
+        // One group = the maximal run of entries sharing (cfg, seed).
+        let mut end = start + 1;
+        while end < batch.len()
+            && batch[end].seed == batch[start].seed
+            && batch[end].cfg == batch[start].cfg
+        {
+            end += 1;
+        }
+        let group = &batch[start..end];
+        let first = &group[0];
+        let setup = KnownSetup::for_configuration(first.cfg, first.cfg.size() as u32, first.seed);
+        let limit = setup.params.round_limit(first.cfg.smallest_label_bit_len());
+        // A `BatchEngine` holds one view type, so the group is partitioned
+        // by topology kind: static cells run under the zero-cost `Static`
+        // monomorphization — exactly like their solo twins — and dynamic
+        // cells under the enum-dispatched `SpecView`. Each partition is
+        // one interleaved engine pass; results merge back in cell order.
+        // Both paths are pinned bitwise against solo execution by the
+        // equivalence tests.
+        let statics: Vec<&GatherScenario<'_>> =
+            group.iter().filter(|s| s.topo.is_static()).collect();
+        let dynamics: Vec<&GatherScenario<'_>> =
+            group.iter().filter(|s| !s.topo.is_static()).collect();
+        let mut static_results = run_batch_group(&statics, &setup, limit, scratch, |_| &Static);
+        let mut dynamic_results = run_batch_group(&dynamics, &setup, limit, scratch, |s| &s.topo);
+        let mut next_static = static_results.drain(..);
+        let mut next_dynamic = dynamic_results.drain(..);
+        results.extend(group.iter().map(|s| {
+            if s.topo.is_static() {
+                next_static.next().expect("one result per static cell")
+            } else {
+                next_dynamic.next().expect("one result per dynamic cell")
+            }
+        }));
+        start = end;
+    }
+    results
+}
+
+/// Runs one same-view partition of a (cfg, seed) group through a single
+/// [`BatchEngine`] under the topology family `T` selects (`Static` for
+/// the static partition, `TopologySpec`/`SpecView` for the dynamic one),
+/// returning one result per cell in partition order.
+fn run_batch_group<'c, T>(
+    cells: &[&GatherScenario<'c>],
+    setup: &KnownSetup,
+    limit: u64,
+    scratch: &mut EngineScratch,
+    topo_of: impl for<'s> Fn(&'s GatherScenario<'c>) -> &'s T,
+) -> Vec<Result<RunOutcome, SimError>>
+where
+    T: Topology,
+{
+    let mut engines: BatchEngine<'c, T::View, BehaviorSlot> = BatchEngine::new();
+    for s in cells {
+        let mut engine: Engine<'c, T::View, BehaviorSlot> =
+            Engine::with_parts(s.cfg.graph(), topo_of(s));
+        engine.set_sensing(sensing_for(s.mode));
+        engine.set_faults(s.fault.clone());
+        if let Some(capacity) = s.trace_capacity {
+            engine.record_trace(capacity);
+        }
+        for &(label, node) in s.cfg.agents() {
+            engine.add_agent(
+                label,
+                node,
+                BehaviorSlot::known_gather(setup.params.clone(), label, s.mode),
+            );
+        }
+        engine.set_wake_schedule(s.schedule.clone());
+        engines.push(engine, limit);
+    }
+    engines.run(scratch)
 }
 
 /// Runs the composed gather-then-gossip algorithm and returns the outcome

@@ -1,0 +1,177 @@
+//! Property: the batched multi-run engine pass is bitwise identical to
+//! running each scenario individually — across sensing modes, wake
+//! schedules, round-varying topologies, crash faults, trace capture, and a
+//! scratch left dirty by unrelated prior work.
+
+use proptest::prelude::*;
+
+use nochatter_core::harness::{
+    run_scenario_batch_with_scratch, run_scenario_with_scratch, GatherScenario,
+};
+use nochatter_core::CommMode;
+use nochatter_graph::dynamic::{DynamicRing, PeriodicEdges, SeededEdgeFailure};
+use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
+use nochatter_sim::{CrashPoint, EngineScratch, FaultSpec, TopologySpec, WakeSchedule};
+
+/// A small instance: ring, path or star with two agents.
+fn instance(shape: u8, n: u32, labels: (u64, u64)) -> InitialConfiguration {
+    let graph = match shape % 3 {
+        0 => generators::ring(n),
+        1 => generators::path(n),
+        _ => generators::star(n),
+    };
+    let last = graph.node_count() as u32 - 1;
+    InitialConfiguration::new(
+        graph,
+        vec![
+            (Label::new(labels.0).unwrap(), NodeId::new(0)),
+            (Label::new(labels.1).unwrap(), NodeId::new(last)),
+        ],
+    )
+    .expect("distinct labels on distinct nodes")
+}
+
+fn topo(choice: u8, shape: u8) -> TopologySpec {
+    match choice % 4 {
+        0 => TopologySpec::Static,
+        1 => TopologySpec::EdgeFailure(SeededEdgeFailure { p: 0.15, seed: 9 }),
+        2 => TopologySpec::Periodic(PeriodicEdges {
+            period: 3,
+            offset: 1,
+        }),
+        // A dynamic ring only runs over a cycle; fall back to static on
+        // the other shapes.
+        _ if shape.is_multiple_of(3) => TopologySpec::Ring(DynamicRing { seed: 9 }),
+        _ => TopologySpec::Static,
+    }
+}
+
+fn fault(choice: u8, label: u64) -> FaultSpec {
+    match choice % 3 {
+        0 => FaultSpec::None,
+        1 => FaultSpec::CrashAt(vec![CrashPoint {
+            label: Label::new(label).unwrap(),
+            round: 25,
+        }]),
+        _ => FaultSpec::SeededCrash {
+            p: 0.002,
+            seed: 3,
+            max_crashes: 1,
+        },
+    }
+}
+
+fn schedule(choice: u8) -> WakeSchedule {
+    match choice % 3 {
+        0 => WakeSchedule::Simultaneous,
+        1 => WakeSchedule::FirstOnly,
+        _ => WakeSchedule::Staggered { gap: 3 },
+    }
+}
+
+/// One batch: an instance-sharing group of 1..=4 cells (same cfg + seed,
+/// varying execution axes) optionally followed by a second group on a
+/// different instance, exactly the layout the campaign runner produces.
+#[derive(Debug, Clone)]
+struct Drawn {
+    shape: u8,
+    n: u32,
+    seed: u64,
+    cells: Vec<(u8, u8, u8, u8, bool)>, // (mode, sched, topo, fault, trace)
+    second_group: bool,
+}
+
+fn drawn() -> impl Strategy<Value = Drawn> {
+    (
+        any::<u8>(),
+        4u32..7,
+        any::<u64>(),
+        proptest::collection::vec(
+            (
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>(),
+                any::<bool>(),
+            ),
+            1..=4,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(shape, n, seed, cells, second_group)| Drawn {
+            shape,
+            n,
+            seed,
+            cells,
+            second_group,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_pass_is_bitwise_identical_to_individual_runs(d in drawn()) {
+        let cfg = instance(d.shape, d.n, (2, 3));
+        let cfg2 = instance(d.shape.wrapping_add(1), d.n, (4, 5));
+        let mut batch: Vec<GatherScenario<'_>> = d
+            .cells
+            .iter()
+            .map(|&(m, s, t, f, trace)| GatherScenario {
+                cfg: &cfg,
+                mode: if m % 2 == 0 { CommMode::Silent } else { CommMode::Talking },
+                schedule: schedule(s),
+                topo: topo(t, d.shape),
+                fault: fault(f, 3),
+                seed: d.seed,
+                trace_capacity: trace.then_some(1 << 12),
+            })
+            .collect();
+        if d.second_group {
+            batch.push(GatherScenario {
+                cfg: &cfg2,
+                mode: CommMode::Silent,
+                schedule: WakeSchedule::Simultaneous,
+                topo: TopologySpec::Static,
+                fault: FaultSpec::None,
+                seed: d.seed.wrapping_add(1),
+                trace_capacity: Some(1 << 12),
+            });
+        }
+
+        // Dirty the shared scratch with an unrelated run first: the batched
+        // pass must be insensitive to whatever a previous campaign cell
+        // left behind in the grow-only buffers.
+        let mut dirty = EngineScratch::new();
+        let warmup = instance(2, 6, (8, 9));
+        run_scenario_with_scratch(
+            &warmup,
+            CommMode::Talking,
+            WakeSchedule::FirstOnly,
+            &TopologySpec::Static,
+            &FaultSpec::None,
+            99,
+            Some(1 << 10),
+            &mut dirty,
+        )
+        .expect("warmup run succeeds");
+
+        let batched = run_scenario_batch_with_scratch(&batch, &mut dirty);
+        prop_assert_eq!(batched.len(), batch.len());
+        for (cell, got) in batch.iter().zip(&batched) {
+            let solo = run_scenario_with_scratch(
+                cell.cfg,
+                cell.mode,
+                cell.schedule.clone(),
+                &cell.topo,
+                &cell.fault,
+                cell.seed,
+                cell.trace_capacity,
+                &mut EngineScratch::new(),
+            );
+            // Debug formatting covers every outcome field, the full event
+            // trace included.
+            prop_assert_eq!(format!("{:?}", got), format!("{:?}", solo));
+        }
+    }
+}

@@ -53,6 +53,7 @@ mod campaign;
 mod record;
 mod report;
 mod runner;
+mod sched;
 
 pub mod presets;
 

@@ -65,35 +65,75 @@ fn opt_u64(v: Option<u64>) -> String {
     v.map_or_else(|| "null".into(), |x| x.to_string())
 }
 
+/// Renders a throughput rate for the trajectory JSON: `null` when the wall
+/// clock was too coarse to measure (never a floored, inflated number).
+fn opt_rate(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), |x| format!("{x:.1}"))
+}
+
 impl CampaignReport {
     /// How many scenarios met their success criterion.
     pub fn ok_count(&self) -> usize {
         self.records.iter().filter(|r| r.ok).count()
     }
 
-    /// Wall-clock seconds of the run, floored at one microsecond so the
-    /// throughput rates below stay finite on degenerate campaigns.
-    fn wall_secs(&self) -> f64 {
-        self.wall.as_secs_f64().max(1e-6)
+    /// Wall-clock seconds of the run, or `None` when the measurement is too
+    /// coarse to divide by (under one microsecond). The historical behavior
+    /// — flooring at 1µs — silently inflated every `*_per_sec` rate on
+    /// sub-microsecond campaigns; an honest report declines to produce a
+    /// number instead.
+    fn wall_secs(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        (secs >= 1e-6).then_some(secs)
     }
 
-    /// Executed scenarios per wall-clock second.
-    pub fn scenarios_per_sec(&self) -> f64 {
-        self.records.len() as f64 / self.wall_secs()
+    /// Executed scenarios per wall-clock second, or `None` when the wall
+    /// clock was too coarse to measure (serialized as `null`).
+    pub fn scenarios_per_sec(&self) -> Option<f64> {
+        Some(self.records.len() as f64 / self.wall_secs()?)
     }
 
-    /// Simulated engine rounds per wall-clock second (fast-forwarded rounds
-    /// included — this is the rate at which *model time* advances).
-    pub fn rounds_per_sec(&self) -> f64 {
-        let total: u64 = self.records.iter().map(|r| r.rounds).sum();
-        total as f64 / self.wall_secs()
+    /// Total simulated rounds across all records, fast-forwarded rounds
+    /// *included* — the amount of model time the campaign covered.
+    pub fn total_rounds(&self) -> u64 {
+        self.records.iter().map(|r| r.rounds).sum()
+    }
+
+    /// Total rounds the engine actually stepped through, i.e.
+    /// [`CampaignReport::total_rounds`] minus the quiescent stretches the
+    /// fast-forward skipped. This is the honest measure of simulation work
+    /// for throughput claims; `total_rounds` measures model-time coverage.
+    pub fn total_executed_rounds(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.rounds.saturating_sub(r.skipped_rounds))
+            .sum()
+    }
+
+    /// Simulated rounds per wall-clock second, fast-forwarded rounds
+    /// *included* — the rate at which *model time* advances, not the rate
+    /// of work done. A campaign dominated by quiescent waiting (the
+    /// unknown-bound algorithm) posts an enormous number here while the
+    /// engine idles; quote [`CampaignReport::executed_rounds_per_sec`] for
+    /// performance claims. `None` when the wall clock was too coarse.
+    pub fn rounds_per_sec(&self) -> Option<f64> {
+        Some(self.total_rounds() as f64 / self.wall_secs()?)
+    }
+
+    /// Rounds the engine actually stepped through per wall-clock second
+    /// (fast-forward excluded) — the honest throughput figure. `None` when
+    /// the wall clock was too coarse.
+    pub fn executed_rounds_per_sec(&self) -> Option<f64> {
+        Some(self.total_executed_rounds() as f64 / self.wall_secs()?)
     }
 
     /// Executed engine loop iterations per wall-clock second (fast-forward
-    /// excluded — this is the rate of actual hot-path work).
-    pub fn engine_iterations_per_sec(&self) -> f64 {
+    /// excluded — the rate of actual hot-path work; per-run counters are
+    /// identical whether cells ran solo or batched). `None` when the wall
+    /// clock was too coarse.
+    pub fn engine_iterations_per_sec(&self) -> Option<f64> {
         let total: u64 = self.records.iter().map(|r| r.engine_iterations).sum();
-        total as f64 / self.wall_secs()
+        Some(total as f64 / self.wall_secs()?)
     }
 
     /// Looks up the record of a key by canonical form.
@@ -320,8 +360,15 @@ impl CampaignReport {
     /// aggregates plus the run's wall-clock time and worker count. Unlike
     /// [`CampaignReport::to_json`], this file intentionally records *how*
     /// the run executed, so it differs across machines and worker counts.
+    ///
+    /// Throughput semantics: `rounds_per_sec` counts fast-forwarded
+    /// (skipped) rounds and therefore measures model-time coverage;
+    /// `executed_rounds_per_sec` excludes them and measures simulation
+    /// work. All `*_per_sec` fields are `null` when the run was too fast
+    /// to time (wall clock under one microsecond) — never inflated by a
+    /// floor.
     pub fn trajectory_json(&self) -> String {
-        let total_rounds: u64 = self.records.iter().map(|r| r.rounds).sum();
+        let total_rounds: u64 = self.total_rounds();
         let total_moves: u64 = self.records.iter().map(|r| r.moves).sum();
         let total_blocked: u64 = self.records.iter().map(|r| r.blocked_moves).sum();
         let total_crashed: u64 = self
@@ -349,6 +396,11 @@ impl CampaignReport {
                 .join(", ")
         );
         let _ = writeln!(out, "  \"total_rounds\": {total_rounds},");
+        let _ = writeln!(
+            out,
+            "  \"total_executed_rounds\": {},",
+            self.total_executed_rounds()
+        );
         let _ = writeln!(out, "  \"total_moves\": {total_moves},");
         let _ = writeln!(out, "  \"total_blocked_moves\": {total_blocked},");
         let _ = writeln!(out, "  \"total_crashed_agents\": {total_crashed},");
@@ -357,14 +409,23 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"wall_ms\": {},", self.wall.as_millis());
         let _ = writeln!(
             out,
-            "  \"scenarios_per_sec\": {:.1},",
-            self.scenarios_per_sec()
+            "  \"scenarios_per_sec\": {},",
+            opt_rate(self.scenarios_per_sec())
         );
-        let _ = writeln!(out, "  \"rounds_per_sec\": {:.1},", self.rounds_per_sec());
         let _ = writeln!(
             out,
-            "  \"engine_iterations_per_sec\": {:.1}",
-            self.engine_iterations_per_sec()
+            "  \"rounds_per_sec\": {},",
+            opt_rate(self.rounds_per_sec())
+        );
+        let _ = writeln!(
+            out,
+            "  \"executed_rounds_per_sec\": {},",
+            opt_rate(self.executed_rounds_per_sec())
+        );
+        let _ = writeln!(
+            out,
+            "  \"engine_iterations_per_sec\": {}",
+            opt_rate(self.engine_iterations_per_sec())
         );
         let _ = writeln!(out, "}}");
         out
@@ -448,6 +509,40 @@ mod tests {
         assert!(t.contains("\"workers\": 1"));
         assert!(t.contains("\"wall_ms\""));
         assert!(t.contains("\"families\": [\"path\"]"));
+        assert!(t.contains("\"total_executed_rounds\""));
+        assert!(t.contains("\"executed_rounds_per_sec\""));
+    }
+
+    #[test]
+    fn unmeasurable_walls_yield_null_rates_not_inflated_ones() {
+        // The historical 1µs floor turned a sub-microsecond campaign into
+        // an arbitrarily huge `*_per_sec`; rates must decline instead.
+        let mut report = tiny_report();
+        report.wall = Duration::ZERO;
+        assert_eq!(report.scenarios_per_sec(), None);
+        assert_eq!(report.rounds_per_sec(), None);
+        assert_eq!(report.executed_rounds_per_sec(), None);
+        assert_eq!(report.engine_iterations_per_sec(), None);
+        let t = report.trajectory_json();
+        assert!(t.contains("\"scenarios_per_sec\": null"));
+        assert!(t.contains("\"executed_rounds_per_sec\": null"));
+
+        report.wall = Duration::from_secs(2);
+        assert_eq!(
+            report.scenarios_per_sec(),
+            Some(report.records.len() as f64 / 2.0)
+        );
+    }
+
+    #[test]
+    fn executed_rounds_exclude_fast_forwarded_ones() {
+        let report = tiny_report();
+        let skipped: u64 = report.records.iter().map(|r| r.skipped_rounds).sum();
+        assert_eq!(
+            report.total_executed_rounds(),
+            report.total_rounds() - skipped
+        );
+        assert!(report.total_executed_rounds() <= report.total_rounds());
     }
 
     #[test]

@@ -1,22 +1,38 @@
 //! Sharded, deterministic campaign execution.
 //!
-//! A campaign's scenarios are independent, so they shard trivially across a
-//! [`std::thread`] worker pool pulling indices from an atomic cursor. Each
-//! worker writes its [`RunRecord`] into the slot of its scenario — records
-//! end up in key order regardless of which worker ran what, which is why a
-//! 1-worker run and an 8-worker run produce byte-identical reports.
+//! Execution is planned as *jobs* first: every gathering cell of one
+//! instance sub-key (same family, size, team and rep — hence same graph,
+//! configuration and derived seed) becomes one **batch job** executed
+//! through the batched multi-run engine pass
+//! (`nochatter_core::harness::run_scenario_batch_with_scratch`), which
+//! builds the instance's exploration-sequence corpus once and interleaves
+//! the cells — silent/talking twins, wake schedules, dynamic-topology and
+//! fault variants — through one engine loop. Gossip and unknown-bound
+//! cells drive their own engines and stay solo jobs.
+//!
+//! Jobs are then distributed over the work-stealing scheduler
+//! ([`crate::sched`]): per-worker deques with steal-half rebalancing, one
+//! reusable [`EngineScratch`] per worker, and lock-free per-job result
+//! slots. Stealing reorders execution, never results — each record lands
+//! in its scenario's key-order slot — so a 1-worker run and an 8-worker
+//! run produce byte-identical reports. A scenario that panics is isolated:
+//! its batch is re-run cell by cell under `catch_unwind` and the poisoned
+//! cell becomes a failed [`RunRecord`] with status `"panic: ..."` instead
+//! of aborting the campaign.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use nochatter_core::harness::GatherScenario;
 use nochatter_core::unknown::{run_unknown, SliceEnumeration};
 use nochatter_core::{harness, KnownSetup};
-use nochatter_sim::{EngineScratch, RunOutcome};
+use nochatter_sim::{EngineScratch, RunOutcome, SimError};
 
 use crate::campaign::{Campaign, Scenario, ScenarioKind};
 use crate::record::{trace_digest, RunRecord};
 use crate::report::CampaignReport;
+use crate::sched;
 
 /// Event-trace capacity per scenario: enough for every small-network run
 /// the campaigns sweep; longer runs digest a deterministic prefix plus the
@@ -33,8 +49,11 @@ pub fn default_workers() -> usize {
 /// available core) and collects the records in scenario-key order.
 ///
 /// The report is bit-for-bit identical for any worker count: scenarios are
-/// deterministic given their derived seed, and collection order is the
-/// campaign's key order, not completion order.
+/// deterministic given their derived seed, batch grouping is a pure
+/// function of the campaign (instance sub-keys, in key order), and
+/// collection order is the campaign's key order, not completion order. A
+/// panicking scenario yields a `"panic: ..."` record instead of aborting
+/// the run.
 pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
     let workers = if workers == 0 {
         default_workers()
@@ -44,41 +63,32 @@ pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
     .min(campaign.len().max(1));
     let start = Instant::now();
     let scenarios = campaign.scenarios();
-    let records: Vec<RunRecord> = if workers <= 1 {
-        // One scratch threads through the whole campaign: steady-state
-        // scenario execution performs no per-run engine allocations.
-        let mut scratch = EngineScratch::new();
-        scenarios
-            .iter()
-            .map(|s| execute_scenario_with_scratch(s, &mut scratch))
-            .collect()
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; scenarios.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // One scratch per worker, reused for every scenario the
-                    // worker pulls.
-                    let mut scratch = EngineScratch::new();
-                    loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(scenario) = scenarios.get(index) else {
-                            break;
-                        };
-                        let record = execute_scenario_with_scratch(scenario, &mut scratch);
-                        slots.lock().expect("worker panicked")[index] = Some(record);
-                    }
-                });
-            }
-        });
-        slots
-            .into_inner()
-            .expect("worker panicked")
-            .into_iter()
-            .map(|slot| slot.expect("every scenario produces a record"))
-            .collect()
-    };
+    let jobs = plan_jobs(scenarios);
+    let results: Vec<Vec<(usize, RunRecord)>> = sched::run_sharded(
+        jobs.len(),
+        workers,
+        |job, scratch| execute_job(&jobs[job], scenarios, scratch),
+        // Backstop for a panic that escapes the per-scenario isolation
+        // inside `execute_job` (e.g. while assembling records): fail every
+        // cell of the job honestly rather than the whole campaign.
+        |job, message| {
+            jobs[job]
+                .iter()
+                .map(|&i| (i, panic_record(&scenarios[i], &message)))
+                .collect()
+        },
+    );
+    // Scatter the jobs' records into key order. Each scenario index is
+    // owned by exactly one job; the replace() assert pins that invariant.
+    let mut slots: Vec<Option<RunRecord>> = vec![None; scenarios.len()];
+    for (index, record) in results.into_iter().flatten() {
+        let previous = slots[index].replace(record);
+        assert!(previous.is_none(), "scenario {index} recorded twice");
+    }
+    let records = slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario produces a record"))
+        .collect();
     CampaignReport {
         name: campaign.name().to_string(),
         seed: campaign.seed(),
@@ -86,6 +96,175 @@ pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
         workers,
         wall: start.elapsed(),
     }
+}
+
+/// Groups scenario indices into execution jobs: gathering cells bucket by
+/// instance sub-key (first-occurrence order — a pure function of the
+/// campaign, independent of workers), everything else runs solo.
+fn plan_jobs(scenarios: &[Scenario]) -> Vec<Vec<usize>> {
+    let mut jobs: Vec<Vec<usize>> = Vec::new();
+    let mut by_instance: HashMap<String, usize> = HashMap::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
+        if matches!(scenario.kind, ScenarioKind::Gather) {
+            match by_instance.entry(scenario.key.instance_canonical()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    jobs[*slot.get()].push(index);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(jobs.len());
+                    jobs.push(vec![index]);
+                }
+            }
+        } else {
+            jobs.push(vec![index]);
+        }
+    }
+    jobs
+}
+
+/// Executes one job (a same-instance batch or a solo cell) with
+/// per-scenario panic isolation.
+fn execute_job(
+    job: &[usize],
+    scenarios: &[Scenario],
+    scratch: &mut EngineScratch,
+) -> Vec<(usize, RunRecord)> {
+    if job.len() > 1 {
+        match catch_unwind(AssertUnwindSafe(|| execute_batch(job, scenarios, scratch))) {
+            Ok(records) => return records,
+            // A panic anywhere in the batched pass: fall through and re-run
+            // the batch cell by cell so only the poisoned cell fails.
+            Err(_) => *scratch = EngineScratch::new(),
+        }
+    }
+    job.iter()
+        .map(|&index| {
+            let scenario = &scenarios[index];
+            let record = catch_unwind(AssertUnwindSafe(|| {
+                execute_scenario_with_scratch(scenario, scratch)
+            }))
+            .unwrap_or_else(|payload| {
+                *scratch = EngineScratch::new();
+                panic_record(scenario, &sched::panic_message(payload))
+            });
+            (index, record)
+        })
+        .collect()
+}
+
+/// Runs a same-instance batch of gathering cells through the batched
+/// multi-run engine pass. Records are bitwise identical to solo execution
+/// of each cell (pinned by tests); unsupported cells are rejected in
+/// preflight exactly as on the solo path.
+fn execute_batch(
+    job: &[usize],
+    scenarios: &[Scenario],
+    scratch: &mut EngineScratch,
+) -> Vec<(usize, RunRecord)> {
+    let mut out: Vec<(usize, RunRecord)> = job
+        .iter()
+        .map(|&index| (index, base_record(&scenarios[index])))
+        .collect();
+    let mut runnable: Vec<usize> = Vec::new();
+    for (position, &index) in job.iter().enumerate() {
+        if preflight(&scenarios[index], &mut out[position].1) {
+            runnable.push(position);
+        }
+    }
+    let batch: Vec<GatherScenario<'_>> = runnable
+        .iter()
+        .map(|&position| {
+            let s = &scenarios[job[position]];
+            GatherScenario {
+                cfg: &s.cfg,
+                mode: s.mode,
+                schedule: s.schedule.clone(),
+                topo: s.topo.clone(),
+                fault: s.fault.clone(),
+                seed: s.seed,
+                trace_capacity: Some(TRACE_CAPACITY),
+            }
+        })
+        .collect();
+    let outcomes = harness::run_scenario_batch_with_scratch(&batch, scratch);
+    for (&position, outcome) in runnable.iter().zip(outcomes) {
+        let scenario = &scenarios[job[position]];
+        record_outcome(&mut out[position].1, scenario, outcome);
+    }
+    out
+}
+
+/// A record for a scenario that panicked: not ok, status carries the
+/// panic message, all counters zero (nothing trustworthy was measured).
+fn panic_record(scenario: &Scenario, message: &str) -> RunRecord {
+    let mut record = base_record(scenario);
+    record.status = format!("panic: {message}");
+    record
+}
+
+/// The empty record every execution path starts from.
+fn base_record(scenario: &Scenario) -> RunRecord {
+    RunRecord {
+        key: scenario.key.clone(),
+        seed: scenario.seed,
+        n_actual: scenario.cfg.size() as u32,
+        ok: false,
+        status: String::new(),
+        rounds: 0,
+        moves: 0,
+        blocked_moves: 0,
+        crashed_agents: 0,
+        engine_iterations: 0,
+        skipped_rounds: 0,
+        max_colocation: 0,
+        leader: None,
+        node: None,
+        size: None,
+        trace_digest: None,
+    }
+}
+
+/// Shared preflight of the solo and batched paths: rejects cells that must
+/// not run (filling `record.status`) and returns whether to execute.
+fn preflight(scenario: &Scenario, record: &mut RunRecord) -> bool {
+    // Unit tests inject a deterministic panic through a reserved family
+    // name to exercise the scheduler's per-scenario isolation end to end;
+    // no public scenario kind can be made to panic on purpose.
+    #[cfg(test)]
+    if scenario.key.family == "panic-inject" {
+        panic!("injected test panic");
+    }
+    // Only the gathering variant runs under round-varying topologies or
+    // the crash-fault adversary: the gossip and unknown-bound algorithms
+    // drive their own engines and are static, fault-free runs by design.
+    // Reject their dynamic/faulty cells loudly instead of silently running
+    // them on the wrong model.
+    if !scenario.topo.is_static() && !matches!(scenario.kind, ScenarioKind::Gather) {
+        record.status = format!(
+            "unsupported: {} variant is static-only",
+            scenario.kind.variant_name()
+        );
+        return false;
+    }
+    if !scenario.fault.is_none() && !matches!(scenario.kind, ScenarioKind::Gather) {
+        record.status = format!(
+            "unsupported: {} variant has no fault axis",
+            scenario.kind.variant_name()
+        );
+        return false;
+    }
+    // Matrix expansion skips incompatible cells, but explicit scenario
+    // lists (`Campaign::from_scenarios`) can still pair a topology with a
+    // graph it cannot run over — record that instead of panicking a
+    // worker thread in the provider's view constructor.
+    if !scenario.topo.compatible_with(scenario.cfg.graph()) {
+        record.status = format!(
+            "unsupported: topology {} cannot run over this graph",
+            scenario.key.topo
+        );
+        return false;
+    }
+    true
 }
 
 /// Executes one scenario with a fresh [`EngineScratch`]; see
@@ -103,52 +282,8 @@ pub fn execute_scenario_with_scratch(
     scenario: &Scenario,
     scratch: &mut EngineScratch,
 ) -> RunRecord {
-    let mut record = RunRecord {
-        key: scenario.key.clone(),
-        seed: scenario.seed,
-        n_actual: scenario.cfg.size() as u32,
-        ok: false,
-        status: String::new(),
-        rounds: 0,
-        moves: 0,
-        blocked_moves: 0,
-        crashed_agents: 0,
-        engine_iterations: 0,
-        skipped_rounds: 0,
-        max_colocation: 0,
-        leader: None,
-        node: None,
-        size: None,
-        trace_digest: None,
-    };
-    // Only the gathering variant runs under round-varying topologies or
-    // the crash-fault adversary: the gossip and unknown-bound algorithms
-    // drive their own engines and are static, fault-free runs by design.
-    // Reject their dynamic/faulty cells loudly instead of silently running
-    // them on the wrong model.
-    if !scenario.topo.is_static() && !matches!(scenario.kind, ScenarioKind::Gather) {
-        record.status = format!(
-            "unsupported: {} variant is static-only",
-            scenario.kind.variant_name()
-        );
-        return record;
-    }
-    if !scenario.fault.is_none() && !matches!(scenario.kind, ScenarioKind::Gather) {
-        record.status = format!(
-            "unsupported: {} variant has no fault axis",
-            scenario.kind.variant_name()
-        );
-        return record;
-    }
-    // Matrix expansion skips incompatible cells, but explicit scenario
-    // lists (`Campaign::from_scenarios`) can still pair a topology with a
-    // graph it cannot run over — record that instead of panicking a
-    // worker thread in the provider's view constructor.
-    if !scenario.topo.compatible_with(scenario.cfg.graph()) {
-        record.status = format!(
-            "unsupported: topology {} cannot run over this graph",
-            scenario.key.topo
-        );
+    let mut record = base_record(scenario);
+    if !preflight(scenario, &mut record) {
         return record;
     }
     let outcome = match &scenario.kind {
@@ -219,9 +354,21 @@ pub fn execute_scenario_with_scratch(
             .map(|(outcome, _)| outcome)
         }
     };
+    record_outcome(&mut record, scenario, outcome);
+    record
+}
+
+/// The shared outcome-to-record tail of every execution path: fills the
+/// counters and judges the gathering property (survivors-only under a
+/// fault adversary), so the batched and solo paths cannot drift.
+fn record_outcome(
+    record: &mut RunRecord,
+    scenario: &Scenario,
+    outcome: Result<RunOutcome, SimError>,
+) {
     match outcome {
         Ok(outcome) => {
-            fill_outcome(&mut record, &outcome);
+            fill_outcome(record, &outcome);
             // A crashed agent can never declare, so a faulty cell's
             // success criterion is the survivors' agreement — exactly the
             // paper's gathering property restricted to the living. The
@@ -256,7 +403,6 @@ pub fn execute_scenario_with_scratch(
         }
         Err(e) => record.status = format!("engine error: {e}"),
     }
-    record
 }
 
 fn fill_outcome(record: &mut RunRecord, outcome: &RunOutcome) {
@@ -314,6 +460,34 @@ mod tests {
     }
 
     #[test]
+    fn batched_campaign_records_match_solo_execution_bitwise() {
+        // The campaign runner batches each instance's cells through the
+        // multi-run engine pass; every record — counters and trace digest
+        // included — must equal what solo execution of that cell produces.
+        let c = campaign();
+        let report = run_campaign(&c, 3);
+        for (scenario, record) in c.scenarios().iter().zip(&report.records) {
+            assert_eq!(record, &execute_scenario(scenario), "{}", scenario.key);
+        }
+    }
+
+    #[test]
+    fn instance_batches_group_all_execution_axes() {
+        let c = campaign();
+        let jobs = plan_jobs(c.scenarios());
+        // 2 families × 2 sizes × 1 team × 1 rep = 4 instances, each with
+        // 2 schedules × 2 modes = 4 cells.
+        assert_eq!(jobs.len(), 4);
+        for job in &jobs {
+            assert_eq!(job.len(), 4);
+            let instance = c.scenarios()[job[0]].key.instance_canonical();
+            for &i in job {
+                assert_eq!(c.scenarios()[i].key.instance_canonical(), instance);
+            }
+        }
+    }
+
+    #[test]
     fn silent_is_never_faster_than_talking() {
         // Holds on these specific cells (rings/stars at n=4..5, where the
         // silent and talking executions stay phase-aligned); NOT a general
@@ -330,6 +504,67 @@ mod tests {
                 silent.rounds,
                 talking.rounds
             );
+        }
+    }
+
+    #[test]
+    fn panicking_scenarios_are_recorded_not_fatal() {
+        use crate::campaign::{scenario_seed, spread, Scenario, ScenarioKind};
+        use crate::record::ScenarioKey;
+        use nochatter_graph::generators;
+
+        // Two cells of a reserved family that the preflight hook panics on
+        // (same instance, so they form a batch and exercise the
+        // batch-panic → solo-rerun fallback), plus two healthy cells.
+        let cell = |family: &str, mode: CommMode, mode_name: &str| {
+            let key = ScenarioKey {
+                family: family.into(),
+                n: 4,
+                team: vec![2, 3],
+                wake: "simul".into(),
+                topo: "static".into(),
+                fault: "none".into(),
+                mode: mode_name.into(),
+                variant: "gather".into(),
+                rep: 0,
+            };
+            Scenario {
+                seed: scenario_seed(5, &key),
+                key,
+                cfg: spread(generators::ring(4), &[2, 3]).unwrap(),
+                mode,
+                schedule: WakeSchedule::Simultaneous,
+                topo: nochatter_sim::TopologySpec::Static,
+                fault: nochatter_sim::FaultSpec::None,
+                kind: ScenarioKind::Gather,
+            }
+        };
+        let scenarios = vec![
+            cell("panic-inject", CommMode::Silent, "silent"),
+            cell("panic-inject", CommMode::Talking, "talking"),
+            cell("ring4", CommMode::Silent, "silent"),
+            cell("ring4", CommMode::Talking, "talking"),
+        ];
+        let c = Campaign::from_scenarios("panic-test", 5, scenarios).unwrap();
+        let one = run_campaign(&c, 1);
+        let four = run_campaign(&c, 4);
+        assert_eq!(one.records, four.records, "panic records are deterministic");
+        for r in &one.records {
+            if r.key.family == "panic-inject" {
+                assert!(!r.ok);
+                assert_eq!(r.status, "panic: injected test panic");
+                assert_eq!(r.rounds, 0, "nothing trustworthy was measured");
+            } else {
+                assert!(r.ok, "{} failed: {}", r.key, r.status);
+                // The healthy instance is unperturbed by the poisoned one.
+                let solo = execute_scenario(
+                    c.scenarios()
+                        .iter()
+                        .find(|s| s.key == r.key)
+                        .expect("scenario exists"),
+                );
+                assert_eq!(r, &solo);
+            }
         }
     }
 

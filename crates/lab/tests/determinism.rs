@@ -114,12 +114,17 @@ proptest! {
 
     #[test]
     fn one_worker_equals_many((matrix, seed) in matrix_strategy()) {
+        // 1 worker runs inline on the caller's thread; 5 and 8 go through
+        // the work-stealing scheduler with different chunk seeds and steal
+        // schedules. All must agree byte for byte.
         let campaign = build(&matrix, seed);
         let one = run_campaign(&campaign, 1);
-        let many = run_campaign(&campaign, 5);
-        prop_assert_eq!(&one.records, &many.records);
-        prop_assert_eq!(one.to_json(), many.to_json());
-        prop_assert_eq!(one.to_csv(), many.to_csv());
+        for workers in [5, 8] {
+            let many = run_campaign(&campaign, workers);
+            prop_assert_eq!(&one.records, &many.records);
+            prop_assert_eq!(one.to_json(), many.to_json());
+            prop_assert_eq!(one.to_csv(), many.to_csv());
+        }
     }
 
     #[test]

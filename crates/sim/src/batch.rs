@@ -1,0 +1,414 @@
+//! Batched multi-run execution: many independent runs stepped through one
+//! engine loop.
+//!
+//! Campaign workloads are dominated by *families* of short runs that share
+//! a shape: the silent/talking twins, the static/dynamic twins and the
+//! fault twins of one instance all run the same team over the same graph
+//! with the same seed. Executing them one after another repays the
+//! per-run setup every time and walks the per-node scratch cold for every
+//! run. [`BatchEngine`] instead collects K configured [`Engine`]s and
+//! steps them through **one** loop: each round of the global clock, every
+//! run due at that round executes exactly one solo iteration against the
+//! shared [`EngineScratch`], so the struct-of-arrays agent columns and the
+//! per-node occupancy buffers stay hot across the whole batch, and callers
+//! amortize whatever per-batch setup (parameter corpora, topology specs)
+//! the runs share.
+//!
+//! **Determinism and equivalence.** A batched run's result is bitwise
+//! identical to running the same engine solo via
+//! [`Engine::run_with_scratch`] — not by careful reimplementation but by
+//! construction: both paths drive the same internal per-run state machine
+//! (`ActiveRun`), whose `step` executes one iteration of the historical
+//! round loop, including that run's own quiescence fast-forward. The
+//! batch's global clock is simply `min` over the runs' next due rounds, so
+//! a run that fast-forwards past its siblings is left alone until the
+//! clock catches up; runs due in the same global round step in push
+//! order. The shared scratch is restored to its all-zero invariant at the
+//! end of every step, so interleaving is invisible to the runs.
+//!
+//! Failure is per-run: a run whose behavior commits a protocol violation
+//! resolves to its own `Err` and the rest of the batch keeps going.
+
+use crate::behavior::AgentBehavior;
+use crate::engine::{ActiveRun, Engine, EngineScratch};
+use crate::error::SimError;
+use crate::outcome::RunOutcome;
+use nochatter_graph::dynamic::{Static, TopologyView};
+
+/// A batch of configured engines executed through one interleaved round
+/// loop. See the module docs at the top of this file for the execution
+/// model and the bitwise-equivalence guarantee.
+///
+/// Runs may differ in graph, team size, schedule, sensing, faults,
+/// topology view state and round limit; they only share the scratch and
+/// the loop. Build each run with the usual [`Engine`] API,
+/// [`push`](BatchEngine::push) it with its round limit, then
+/// [`run`](BatchEngine::run) the batch.
+///
+/// # Example
+///
+/// ```
+/// use nochatter_graph::{generators, Label, NodeId};
+/// use nochatter_sim::proc::{ProcBehavior, WaitRounds};
+/// use nochatter_sim::{BatchEngine, Engine, EngineScratch, WakeSchedule};
+///
+/// let g = generators::ring(4);
+/// let mut batch = BatchEngine::new();
+/// for wait in [3u64, 9] {
+///     let mut engine = Engine::new(&g);
+///     for (label, node) in [(1u64, 0u32), (2, 2)] {
+///         engine.add_agent(
+///             Label::new(label).unwrap(),
+///             NodeId::new(node),
+///             Box::new(ProcBehavior::declaring(WaitRounds::new(wait))),
+///         );
+///     }
+///     engine.set_wake_schedule(WakeSchedule::Simultaneous);
+///     batch.push(engine, 1_000);
+/// }
+/// let mut scratch = EngineScratch::new();
+/// let outcomes = batch.run(&mut scratch);
+/// assert!(outcomes.iter().all(|o| o.as_ref().unwrap().all_declared()));
+/// ```
+pub struct BatchEngine<'g, V: TopologyView = Static, B: AgentBehavior = Box<dyn AgentBehavior>> {
+    runs: Vec<(Engine<'g, V, B>, u64)>,
+}
+
+impl<'g, V: TopologyView, B: AgentBehavior> Default for BatchEngine<'g, V, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'g, V: TopologyView, B: AgentBehavior> BatchEngine<'g, V, B> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        BatchEngine { runs: Vec::new() }
+    }
+
+    /// Adds a configured engine to the batch with its round limit. Results
+    /// come back in push order.
+    pub fn push(&mut self, engine: Engine<'g, V, B>, max_rounds: u64) {
+        self.runs.push((engine, max_rounds));
+    }
+
+    /// How many runs the batch holds.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if no runs have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Executes every run of the batch through one interleaved loop,
+    /// returning each run's result in push order. Setup errors (bad wake
+    /// schedule, duplicate labels, …) and protocol violations resolve to
+    /// that run's `Err`; the other runs are unaffected.
+    pub fn run(self, scratch: &mut EngineScratch) -> Vec<Result<RunOutcome, SimError>> {
+        let count = self.runs.len();
+        let mut results: Vec<Option<Result<RunOutcome, SimError>>> =
+            (0..count).map(|_| None).collect();
+        // Validate and prepare every run up front; `prepare` only grows the
+        // shared buffers, so they end up sized for the largest run.
+        let mut live: Vec<(usize, ActiveRun<'g, V, B>)> = Vec::with_capacity(count);
+        for (index, (engine, max_rounds)) in self.runs.into_iter().enumerate() {
+            match ActiveRun::begin(engine, max_rounds, scratch) {
+                Ok(run) => live.push((index, run)),
+                Err(e) => results[index] = Some(Err(e)),
+            }
+        }
+        // The global clock: always the smallest next due round over the
+        // live runs. Quiescent runs fast-forward themselves ahead and sit
+        // out the intermediate ticks.
+        while !live.is_empty() {
+            let clock = live
+                .iter()
+                .map(|(_, run)| run.next_round())
+                .min()
+                .expect("live is non-empty");
+            let mut i = 0;
+            while i < live.len() {
+                if live[i].1.next_round() == clock {
+                    if let Some(result) = live[i].1.step(scratch) {
+                        let (index, _) = live.swap_remove(i);
+                        results[index] = Some(result);
+                        continue; // the swapped-in run is checked at `i`
+                    }
+                }
+                i += 1;
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every run terminates"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Declaration;
+    use crate::fault::{CrashPoint, FaultSpec};
+    use crate::obs::{Action, Obs, Poll};
+    use crate::proc::{ProcBehavior, Procedure, WaitRounds};
+    use crate::schedule::WakeSchedule;
+    use crate::Sensing;
+    use nochatter_graph::dynamic::{DynamicRing, TopologySpec};
+    use nochatter_graph::{generators, Graph, Label, NodeId, Port};
+
+    fn label(v: u64) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    /// Walks clockwise `steps` times, then declares.
+    struct Walk {
+        steps: u32,
+    }
+    impl Procedure for Walk {
+        type Output = ();
+        fn poll(&mut self, _obs: &Obs) -> Poll<()> {
+            if self.steps == 0 {
+                Poll::Complete(())
+            } else {
+                self.steps -= 1;
+                Poll::Yield(Action::TakePort(Port::new(1)))
+            }
+        }
+    }
+
+    /// A diverse little fleet of engines over `graph`: different waits,
+    /// walks, schedules, sensing modes, faults and trace settings.
+    fn fleet(graph: &Graph) -> Vec<(Engine<'_>, u64)> {
+        let mut engines = Vec::new();
+        for (i, wait) in [0u64, 7, 1_000_000].into_iter().enumerate() {
+            let mut e = Engine::new(graph);
+            e.add_agent(
+                label(2),
+                NodeId::new(0),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(wait))),
+            );
+            e.add_agent(
+                label(3),
+                NodeId::new(2),
+                Box::new(ProcBehavior::declaring(Walk { steps: 3 })),
+            );
+            if i == 1 {
+                e.set_sensing(Sensing::Traditional);
+                e.set_faults(FaultSpec::CrashAt(vec![CrashPoint {
+                    label: label(3),
+                    round: 1,
+                }]));
+            }
+            if i == 2 {
+                e.set_wake_schedule(WakeSchedule::Explicit(vec![0, 500]));
+                e.record_trace(64);
+            }
+            engines.push((e, 2_000_000u64));
+        }
+        engines
+    }
+
+    #[test]
+    fn batch_matches_solo_bitwise_including_traces_and_counters() {
+        let g = generators::ring(6);
+        let solo: Vec<String> = fleet(&g)
+            .into_iter()
+            .map(|(e, limit)| format!("{:?}", e.run(limit)))
+            .collect();
+        let mut batch = BatchEngine::new();
+        for (e, limit) in fleet(&g) {
+            batch.push(e, limit);
+        }
+        let mut scratch = EngineScratch::new();
+        let batched: Vec<String> = batch
+            .run(&mut scratch)
+            .into_iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        assert_eq!(solo, batched);
+    }
+
+    #[test]
+    fn runs_over_different_graphs_and_views_interleave_safely() {
+        let small = generators::ring(4);
+        let big = generators::ring(9);
+        let spec = TopologySpec::Ring(DynamicRing { seed: 7 });
+        let build = || {
+            let mut a = Engine::with_topology(&big, &spec);
+            a.add_agent(
+                label(2),
+                NodeId::new(0),
+                Box::new(ProcBehavior::declaring(Walk { steps: 6 })),
+            );
+            a.add_agent(
+                label(5),
+                NodeId::new(4),
+                Box::new(ProcBehavior::declaring(Walk { steps: 6 })),
+            );
+            let mut b = Engine::with_topology(&small, &TopologySpec::Static);
+            b.add_agent(
+                label(2),
+                NodeId::new(0),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(40))),
+            );
+            b.add_agent(
+                label(3),
+                NodeId::new(2),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(2))),
+            );
+            (a, b)
+        };
+        let (sa, sb) = build();
+        let solo = (format!("{:?}", sa.run(500)), format!("{:?}", sb.run(500)));
+        let (ba, bb) = build();
+        let mut batch = BatchEngine::new();
+        batch.push(ba, 500);
+        batch.push(bb, 500);
+        let mut scratch = EngineScratch::new();
+        let got = batch.run(&mut scratch);
+        assert_eq!(format!("{:?}", got[0]), solo.0);
+        assert_eq!(format!("{:?}", got[1]), solo.1);
+    }
+
+    #[test]
+    fn per_run_failures_leave_siblings_intact() {
+        struct BadPort;
+        impl Procedure for BadPort {
+            type Output = ();
+            fn poll(&mut self, _obs: &Obs) -> Poll<()> {
+                Poll::Yield(Action::TakePort(Port::new(99)))
+            }
+        }
+        let g = generators::ring(5);
+        let mut batch = BatchEngine::new();
+        // Run 0: setup error (duplicate labels).
+        let mut dup = Engine::new(&g);
+        for node in [0u32, 2] {
+            dup.add_agent(
+                label(7),
+                NodeId::new(node),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(0))),
+            );
+        }
+        batch.push(dup, 100);
+        // Run 1: protocol violation in round 0.
+        let mut bad = Engine::new(&g);
+        bad.add_agent(
+            label(2),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(BadPort)),
+        );
+        batch.push(bad, 100);
+        // Run 2: healthy.
+        let mut ok = Engine::new(&g);
+        ok.add_agent(
+            label(2),
+            NodeId::new(0),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(3))),
+        );
+        ok.add_agent(
+            label(3),
+            NodeId::new(2),
+            Box::new(ProcBehavior::declaring(WaitRounds::new(3))),
+        );
+        batch.push(ok, 100);
+        let mut scratch = EngineScratch::new();
+        let results = batch.run(&mut scratch);
+        assert!(matches!(results[0], Err(SimError::DuplicateLabel { .. })));
+        assert!(matches!(results[1], Err(SimError::InvalidPort { .. })));
+        let healthy = results[2].as_ref().unwrap();
+        assert!(healthy.all_declared());
+        assert_eq!(
+            format!("{:?}", results[2]),
+            {
+                let mut solo = Engine::new(&g);
+                solo.add_agent(
+                    label(2),
+                    NodeId::new(0),
+                    Box::new(ProcBehavior::declaring(WaitRounds::new(3))),
+                );
+                solo.add_agent(
+                    label(3),
+                    NodeId::new(2),
+                    Box::new(ProcBehavior::declaring(WaitRounds::new(3))),
+                );
+                format!("{:?}", solo.run(100))
+            },
+            "a failing sibling must not perturb a healthy run"
+        );
+    }
+
+    #[test]
+    fn round_limited_and_declaring_runs_mix() {
+        let g = generators::ring(4);
+        let mut batch = BatchEngine::new();
+        for (wait, limit) in [(5u64, 3u64), (5, 100)] {
+            let mut e = Engine::new(&g);
+            e.add_agent(
+                label(2),
+                NodeId::new(0),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(wait))),
+            );
+            e.add_agent(
+                label(3),
+                NodeId::new(2),
+                Box::new(ProcBehavior::declaring(WaitRounds::new(wait))),
+            );
+            batch.push(e, limit);
+        }
+        let mut scratch = EngineScratch::new();
+        let results = batch.run(&mut scratch);
+        assert_eq!(
+            results[0].as_ref().unwrap().status,
+            crate::outcome::RunStatus::RoundLimit
+        );
+        assert!(results[1].as_ref().unwrap().all_declared());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch: BatchEngine<'_> = BatchEngine::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        let mut scratch = EngineScratch::new();
+        assert!(batch.run(&mut scratch).is_empty());
+    }
+
+    #[test]
+    fn traditional_sensing_peers_are_isolated_between_interleaved_runs() {
+        // Two traditional-sensing runs over the same graph, different
+        // teams: an agent declaring the peer set it sees must never see a
+        // sibling run's labels.
+        struct DeclarePeerCount;
+        impl crate::behavior::AgentBehavior for DeclarePeerCount {
+            fn on_round(&mut self, obs: &Obs) -> crate::behavior::AgentAct {
+                let peers = obs.peer_labels.as_ref().expect("traditional mode");
+                crate::behavior::AgentAct::Declare(Declaration {
+                    leader: None,
+                    size: Some(peers.len() as u32),
+                })
+            }
+        }
+        let g = generators::complete(3);
+        let mut batch: BatchEngine<'_, Static> = BatchEngine::new();
+        for team in [[2u64, 3], [40, 50]] {
+            let mut e = Engine::new(&g);
+            for (i, l) in team.into_iter().enumerate() {
+                e.add_agent(label(l), NodeId::new(i as u32), Box::new(DeclarePeerCount));
+            }
+            e.set_sensing(Sensing::Traditional);
+            batch.push(e, 10);
+        }
+        let mut scratch = EngineScratch::new();
+        for result in batch.run(&mut scratch) {
+            let outcome = result.unwrap();
+            for (_, rec) in &outcome.declarations {
+                // Everyone is alone on its node: exactly itself in view.
+                assert_eq!(rec.unwrap().declaration.size, Some(1));
+            }
+        }
+    }
+}

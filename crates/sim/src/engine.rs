@@ -178,15 +178,24 @@ impl EngineScratch {
     /// Clears whatever the previous run left behind and sizes the buffers
     /// for a graph of `n` nodes and `agent_count` agents. O(touched) for
     /// the clearing plus O(n) only when the node capacity grows.
+    ///
+    /// Buffers only ever grow: a batch interleaves runs of different sizes
+    /// through one scratch, so shrinking for a small run would thrash the
+    /// capacity a bigger in-flight run still needs. The round loop indexes
+    /// only its own `n` nodes and `agent_count` action slots, so surplus
+    /// capacity is invisible.
     fn prepare(&mut self, n: usize, agent_count: usize) {
         for node in self.touched.drain(..) {
             self.card[node as usize] = 0;
             self.occupants[node as usize].clear();
         }
-        self.card.resize(n, 0);
-        self.occupants.resize_with(n, Vec::new);
-        self.acts.clear();
-        self.acts.resize(agent_count, None);
+        if self.card.len() < n {
+            self.card.resize(n, 0);
+            self.occupants.resize_with(n, Vec::new);
+        }
+        if self.acts.len() < agent_count {
+            self.acts.resize(agent_count, None);
+        }
         self.labels.clear();
     }
 }
@@ -411,15 +420,99 @@ impl<'g, V: TopologyView, B: AgentBehavior> Engine<'g, V, B> {
     /// Returns a [`SimError`] on setup problems or if a behavior commits a
     /// protocol violation (taking a nonexistent port).
     pub fn run_with_scratch(
-        mut self,
+        self,
         max_rounds: u64,
         scratch: &mut EngineScratch,
     ) -> Result<RunOutcome, SimError> {
-        self.validate(&mut scratch.validate_order)?;
-        let mut trace = self.trace_capacity.map(Trace::with_capacity);
-        let n = self.graph.node_count();
-        let k = self.agents.len();
-        scratch.prepare(n, k);
+        let mut run = ActiveRun::begin(self, max_rounds, scratch)?;
+        loop {
+            if let Some(result) = run.step(scratch) {
+                return result;
+            }
+        }
+    }
+}
+
+/// One validated run being stepped round by round — the engine's loop
+/// reified as a state machine.
+///
+/// [`ActiveRun::begin`] performs validation and setup; every
+/// [`ActiveRun::step`] executes exactly one iteration of the round loop
+/// (one simulated round plus that round's quiescence fast-forward) against
+/// a borrowed [`EngineScratch`], and returns the run's result once it
+/// terminates. [`Engine::run_with_scratch`] is a trivial `begin`/`step`
+/// driver; [`crate::BatchEngine`] interleaves the steps of many runs
+/// through one loop. Both paths execute the *same* code on identical
+/// per-run state, so batched outcomes are bitwise identical to solo ones
+/// by construction.
+///
+/// Shared-scratch discipline: a step leaves `card`/`occupants` all-zero
+/// (the end-of-round wipe drains `touched`, including on the invalid-port
+/// error path), so steps of different runs can interleave through one
+/// scratch in any order.
+pub(crate) struct ActiveRun<'g, V: TopologyView, B: AgentBehavior> {
+    engine: Engine<'g, V, B>,
+    trace: Option<Trace>,
+    stats: RunStats,
+    /// Crash machinery is engaged only while some resolved crash is still
+    /// pending: under `FaultSpec::None` this stays 0 and the whole fault
+    /// phase is one untaken branch per round.
+    pending_crashes: usize,
+    /// Occupancy buckets feed only the traditional-sensing peer-label
+    /// observation; the silent model pays nothing for them.
+    bucket_occupants: bool,
+    round: u64,
+    max_rounds: u64,
+}
+
+impl<'g, V: TopologyView, B: AgentBehavior> ActiveRun<'g, V, B> {
+    /// Validates the engine's setup and prepares the run for stepping.
+    pub(crate) fn begin(
+        mut engine: Engine<'g, V, B>,
+        max_rounds: u64,
+        scratch: &mut EngineScratch,
+    ) -> Result<Self, SimError> {
+        engine.validate(&mut scratch.validate_order)?;
+        let trace = engine.trace_capacity.map(Trace::with_capacity);
+        scratch.prepare(engine.graph.node_count(), engine.agents.len());
+        let bucket_occupants = engine.sensing == Sensing::Traditional;
+        let pending_crashes = engine
+            .agents
+            .crash_round
+            .iter()
+            .filter(|&&r| r != u64::MAX)
+            .count();
+        Ok(ActiveRun {
+            engine,
+            trace,
+            stats: RunStats::default(),
+            pending_crashes,
+            bucket_occupants,
+            round: 0,
+            max_rounds,
+        })
+    }
+
+    /// The round this run's next [`ActiveRun::step`] will simulate. A
+    /// batch steps whichever runs are due at the globally smallest next
+    /// round; a value at or past the round limit means the next step only
+    /// finalizes the outcome.
+    pub(crate) fn next_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Executes one iteration of the round loop. Returns `Some` once the
+    /// run has terminated (all agents terminal, round limit, or a protocol
+    /// violation); the run must not be stepped again after that.
+    pub(crate) fn step(
+        &mut self,
+        scratch: &mut EngineScratch,
+    ) -> Option<Result<RunOutcome, SimError>> {
+        if self.round >= self.max_rounds {
+            return Some(Ok(self.finish(RunStatus::RoundLimit, self.max_rounds)));
+        }
+        let round = self.round;
+        let k = self.engine.agents.len();
         let EngineScratch {
             card,
             occupants,
@@ -428,327 +521,332 @@ impl<'g, V: TopologyView, B: AgentBehavior> Engine<'g, V, B> {
             labels: label_buf,
             ..
         } = scratch;
-        // Occupancy buckets feed only the traditional-sensing peer-label
-        // observation; the silent model pays nothing for them.
-        let bucket_occupants = self.sensing == Sensing::Traditional;
-        // Crash machinery is engaged only while some resolved crash is
-        // still pending: under `FaultSpec::None` this stays 0 and the
-        // whole fault phase is one untaken branch per round.
-        let mut pending_crashes = self
-            .agents
-            .crash_round
-            .iter()
-            .filter(|&&r| r != u64::MAX)
-            .count();
-        let mut stats = RunStats::default();
-        let mut round: u64 = 0;
+        // The scratch only ever grows (see `prepare`); this run uses
+        // exactly its own `k` action slots.
+        let acts = &mut acts[..k];
 
-        while round < max_rounds {
-            stats.engine_iterations += 1;
-            // Advance the topology to this round. Fast-forwarded rounds are
-            // skipped soundly: a view is a pure function of the round
-            // number, and edge presence is unobservable in a round where
-            // every active agent waits.
-            self.view.begin_round(round);
+        self.stats.engine_iterations += 1;
+        // Advance the topology to this round. Fast-forwarded rounds are
+        // skipped soundly: a view is a pure function of the round
+        // number, and edge presence is unobservable in a round where
+        // every active agent waits.
+        self.engine.view.begin_round(round);
 
-            // 0. Crash faults due this round. Crashes precede wake-ups: an
-            // agent crashing in its wake round never wakes. A crash round
-            // on an already-declared agent resolves to nothing — the
-            // declaration stands. Either way the entry is cleared, so
-            // `pending_crashes` reaches 0 and the branch disappears.
-            if pending_crashes > 0 {
-                for i in 0..k {
-                    if self.agents.crash_round[i] <= round {
-                        self.agents.crash_round[i] = u64::MAX;
-                        pending_crashes -= 1;
-                        if self.agents.phase[i] == AgentPhase::Declared {
-                            continue;
-                        }
-                        self.agents.phase[i] = AgentPhase::Crashed;
-                        stats.last_crash_round = stats.last_crash_round.max(round);
-                        if let Some(t) = trace.as_mut() {
-                            t.push(TraceEvent::Crashed {
-                                agent: self.agents.labels[i],
-                                round,
-                                node: self.agents.pos[i],
-                            });
-                        }
-                    }
-                }
-            }
-
-            // 1. Adversary wake-ups scheduled for this round.
+        // 0. Crash faults due this round. Crashes precede wake-ups: an
+        // agent crashing in its wake round never wakes. A crash round
+        // on an already-declared agent resolves to nothing — the
+        // declaration stands. Either way the entry is cleared, so
+        // `pending_crashes` reaches 0 and the branch disappears.
+        if self.pending_crashes > 0 {
             for i in 0..k {
-                if self.agents.phase[i] == AgentPhase::Dormant
-                    && self.agents.adversary_wake[i] <= round
-                {
-                    self.agents.phase[i] = AgentPhase::Active;
-                    self.agents.just_woken[i] = true;
-                    if let Some(t) = trace.as_mut() {
-                        t.push(TraceEvent::Wake {
-                            agent: self.agents.labels[i],
+                if self.engine.agents.crash_round[i] <= round {
+                    self.engine.agents.crash_round[i] = u64::MAX;
+                    self.pending_crashes -= 1;
+                    if self.engine.agents.phase[i] == AgentPhase::Declared {
+                        continue;
+                    }
+                    self.engine.agents.phase[i] = AgentPhase::Crashed;
+                    self.stats.last_crash_round = self.stats.last_crash_round.max(round);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent::Crashed {
+                            agent: self.engine.agents.labels[i],
                             round,
-                            by_visit: false,
+                            node: self.engine.agents.pos[i],
                         });
                     }
-                }
-            }
-
-            // 2. Occupancy, counting every agent physically present —
-            // dormant, declared and crashed bodies included (the paper's
-            // sensing model counts bodies, not executions). Only the ≤ k
-            // occupied nodes are bucketed and recorded in `touched`; the
-            // end-of-round wipe clears exactly those, so no phase of the
-            // loop scans all n nodes.
-            for (&pos, &label) in self.agents.pos.iter().zip(self.agents.labels.iter()) {
-                let node = pos.index();
-                if card[node] == 0 {
-                    touched.push(node as u32);
-                }
-                card[node] += 1;
-                if bucket_occupants {
-                    occupants[node].push(label);
-                }
-            }
-            for &node in touched.iter() {
-                stats.max_colocation = stats.max_colocation.max(card[node as usize]);
-            }
-
-            // 3. Wake-on-visit: a dormant agent co-located with any other
-            // body starts executing this round. Two dormant agents can
-            // never share a node (starts are distinct and dormant agents do
-            // not move), so any co-located company is awake, declared or
-            // crashed — and a body is a body: a crashed agent wakes a
-            // sleeper exactly as a declared one does.
-            for i in 0..k {
-                if self.agents.phase[i] != AgentPhase::Dormant {
-                    continue;
-                }
-                if card[self.agents.pos[i].index()] > 1 {
-                    self.agents.phase[i] = AgentPhase::Active;
-                    self.agents.just_woken[i] = true;
-                    if let Some(t) = trace.as_mut() {
-                        t.push(TraceEvent::Wake {
-                            agent: self.agents.labels[i],
-                            round,
-                            by_visit: true,
-                        });
-                    }
-                }
-            }
-
-            // 4. Poll every executing agent (simultaneously: all
-            // observations are computed from the same positions). A
-            // `Blocked` agent reports its failed attempt through the
-            // observation and reverts to `Active`.
-            let mut all_waited = true;
-            let mut any_active = false;
-            for (i, slot) in acts.iter_mut().enumerate() {
-                *slot = None;
-                let phase = self.agents.phase[i];
-                if !phase.is_executing() {
-                    continue;
-                }
-                any_active = true;
-                let pos = self.agents.pos[i];
-                let peer_labels = match self.sensing {
-                    Sensing::Weak => None,
-                    Sensing::Traditional => {
-                        // The node's bucket lists everyone present in agent
-                        // order; fill and sort the one scratch buffer, and
-                        // lend it to the observation instead of allocating.
-                        label_buf.clear();
-                        label_buf.extend_from_slice(&occupants[pos.index()]);
-                        label_buf.sort_unstable();
-                        Some(std::mem::take(label_buf))
-                    }
-                };
-                let mut obs = Obs {
-                    round,
-                    degree: self.graph.degree(pos),
-                    cur_card: card[pos.index()],
-                    entry_port: self.agents.entry_port[i],
-                    just_woken: self.agents.just_woken[i],
-                    blocked: phase == AgentPhase::Blocked,
-                    peer_labels,
-                };
-                let act = self.agents.behaviors[i].on_round(&obs);
-                // Reclaim the lent label buffer (and its capacity).
-                if let Some(buf) = obs.peer_labels.take() {
-                    *label_buf = buf;
-                }
-                self.agents.just_woken[i] = false;
-                self.agents.phase[i] = AgentPhase::Active;
-                if !matches!(act, AgentAct::Wait) {
-                    all_waited = false;
-                }
-                *slot = Some(act);
-            }
-
-            // 5. Apply actions simultaneously.
-            for (i, act) in acts.iter().enumerate() {
-                let Some(act) = *act else { continue };
-                match act {
-                    AgentAct::Wait => {}
-                    AgentAct::TakePort(p) => {
-                        let pos = self.agents.pos[i];
-                        match self.graph.neighbor(pos, p) {
-                            // A port that exists in the base graph but whose
-                            // edge is absent this round blocks: the agent
-                            // stays put (entry port untouched) and its next
-                            // observation reports it. A nonexistent port is
-                            // still a protocol violation — dynamics never
-                            // change the degree an agent observes.
-                            Some(_) if !self.view.edge_present(pos, p) => {
-                                self.agents.phase[i] = AgentPhase::Blocked;
-                                stats.blocked_moves += 1;
-                                if let Some(t) = trace.as_mut() {
-                                    t.push(TraceEvent::Blocked {
-                                        agent: self.agents.labels[i],
-                                        round,
-                                        node: pos,
-                                        port: p,
-                                    });
-                                }
-                            }
-                            Some((to, back)) => {
-                                if let Some(t) = trace.as_mut() {
-                                    t.push(TraceEvent::Move {
-                                        agent: self.agents.labels[i],
-                                        round,
-                                        from: pos,
-                                        to,
-                                        port: p,
-                                    });
-                                }
-                                self.agents.pos[i] = to;
-                                self.agents.entry_port[i] = Some(back);
-                                stats.total_moves += 1;
-                            }
-                            None => {
-                                return Err(SimError::InvalidPort {
-                                    agent: self.agents.labels[i],
-                                    node: pos,
-                                    port: p,
-                                    round,
-                                });
-                            }
-                        }
-                    }
-                    AgentAct::Declare(d) => {
-                        self.agents.declared[i] = Some(DeclarationRecord {
-                            round,
-                            node: self.agents.pos[i],
-                            declaration: d,
-                        });
-                        self.agents.phase[i] = AgentPhase::Declared;
-                        stats.last_declaration_round = stats.last_declaration_round.max(round);
-                        if let Some(t) = trace.as_mut() {
-                            t.push(TraceEvent::Declare {
-                                agent: self.agents.labels[i],
-                                round,
-                                node: self.agents.pos[i],
-                                declaration: d,
-                            });
-                        }
-                    }
-                }
-            }
-
-            // End-of-round wipe: clear exactly the nodes occupied this
-            // round (the error return above leaves them for the next
-            // `prepare`, which drains the same list).
-            for node in touched.drain(..) {
-                card[node as usize] = 0;
-                occupants[node as usize].clear();
-            }
-
-            // A run ends when every agent is terminal. All declared is the
-            // paper's successful end; any crash among otherwise-declared
-            // agents halts the run early too — nothing can change anymore —
-            // but reports `Halted` (the crashed agents never declared).
-            if self.agents.phase.iter().all(|p| p.is_terminal()) {
-                let crashed = self.agents.phase.contains(&AgentPhase::Crashed);
-                let (status, rounds) = if crashed {
-                    (
-                        RunStatus::Halted,
-                        stats.last_declaration_round.max(stats.last_crash_round),
-                    )
-                } else {
-                    (RunStatus::AllDeclared, stats.last_declaration_round)
-                };
-                return Ok(self.finish(status, rounds, stats, trace));
-            }
-
-            round += 1;
-
-            // 6. Quiescence fast-forward: if every active agent waited, no
-            // observation can change until some procedure stops waiting,
-            // the adversary wakes someone, or a fault crashes someone.
-            // Skip ahead by the largest provably quiet stretch.
-            if all_waited && any_active {
-                let mut skip = u64::MAX;
-                for (&phase, behavior) in self.agents.phase.iter().zip(self.agents.behaviors.iter())
-                {
-                    if phase.is_executing() {
-                        skip = skip.min(behavior.min_wait());
-                    }
-                }
-                // Respect pending adversary wake-ups...
-                for (&phase, &wake) in self
-                    .agents
-                    .phase
-                    .iter()
-                    .zip(self.agents.adversary_wake.iter())
-                {
-                    if phase == AgentPhase::Dormant && wake != u64::MAX {
-                        skip = skip.min(wake.saturating_sub(round));
-                    }
-                }
-                // ...pending crashes (a crash mid-stretch must execute in
-                // its exact round: the agent stops acting from then on)...
-                if pending_crashes > 0 {
-                    for &crash in &self.agents.crash_round {
-                        if crash != u64::MAX {
-                            skip = skip.min(crash.saturating_sub(round));
-                        }
-                    }
-                }
-                // ...and the round limit.
-                skip = skip.min(max_rounds.saturating_sub(round));
-                if skip > 0 && skip != u64::MAX {
-                    for (&phase, behavior) in self
-                        .agents
-                        .phase
-                        .iter()
-                        .zip(self.agents.behaviors.iter_mut())
-                    {
-                        if phase.is_executing() {
-                            behavior.note_skipped(skip);
-                        }
-                    }
-                    round += skip;
-                    stats.skipped_rounds += skip;
                 }
             }
         }
 
-        Ok(self.finish(RunStatus::RoundLimit, max_rounds, stats, trace))
+        // 1. Adversary wake-ups scheduled for this round.
+        for i in 0..k {
+            if self.engine.agents.phase[i] == AgentPhase::Dormant
+                && self.engine.agents.adversary_wake[i] <= round
+            {
+                self.engine.agents.phase[i] = AgentPhase::Active;
+                self.engine.agents.just_woken[i] = true;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEvent::Wake {
+                        agent: self.engine.agents.labels[i],
+                        round,
+                        by_visit: false,
+                    });
+                }
+            }
+        }
+
+        // 2. Occupancy, counting every agent physically present —
+        // dormant, declared and crashed bodies included (the paper's
+        // sensing model counts bodies, not executions). Only the ≤ k
+        // occupied nodes are bucketed and recorded in `touched`; the
+        // end-of-round wipe clears exactly those, so no phase of the
+        // loop scans all n nodes.
+        for (&pos, &label) in self
+            .engine
+            .agents
+            .pos
+            .iter()
+            .zip(self.engine.agents.labels.iter())
+        {
+            let node = pos.index();
+            if card[node] == 0 {
+                touched.push(node as u32);
+            }
+            card[node] += 1;
+            if self.bucket_occupants {
+                occupants[node].push(label);
+            }
+        }
+        for &node in touched.iter() {
+            self.stats.max_colocation = self.stats.max_colocation.max(card[node as usize]);
+        }
+
+        // 3. Wake-on-visit: a dormant agent co-located with any other
+        // body starts executing this round. Two dormant agents can
+        // never share a node (starts are distinct and dormant agents do
+        // not move), so any co-located company is awake, declared or
+        // crashed — and a body is a body: a crashed agent wakes a
+        // sleeper exactly as a declared one does.
+        for i in 0..k {
+            if self.engine.agents.phase[i] != AgentPhase::Dormant {
+                continue;
+            }
+            if card[self.engine.agents.pos[i].index()] > 1 {
+                self.engine.agents.phase[i] = AgentPhase::Active;
+                self.engine.agents.just_woken[i] = true;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEvent::Wake {
+                        agent: self.engine.agents.labels[i],
+                        round,
+                        by_visit: true,
+                    });
+                }
+            }
+        }
+
+        // 4. Poll every executing agent (simultaneously: all
+        // observations are computed from the same positions). A
+        // `Blocked` agent reports its failed attempt through the
+        // observation and reverts to `Active`.
+        let mut all_waited = true;
+        let mut any_active = false;
+        for (i, slot) in acts.iter_mut().enumerate() {
+            *slot = None;
+            let phase = self.engine.agents.phase[i];
+            if !phase.is_executing() {
+                continue;
+            }
+            any_active = true;
+            let pos = self.engine.agents.pos[i];
+            let peer_labels = match self.engine.sensing {
+                Sensing::Weak => None,
+                Sensing::Traditional => {
+                    // The node's bucket lists everyone present in agent
+                    // order; fill and sort the one scratch buffer, and
+                    // lend it to the observation instead of allocating.
+                    label_buf.clear();
+                    label_buf.extend_from_slice(&occupants[pos.index()]);
+                    label_buf.sort_unstable();
+                    Some(std::mem::take(label_buf))
+                }
+            };
+            let mut obs = Obs {
+                round,
+                degree: self.engine.graph.degree(pos),
+                cur_card: card[pos.index()],
+                entry_port: self.engine.agents.entry_port[i],
+                just_woken: self.engine.agents.just_woken[i],
+                blocked: phase == AgentPhase::Blocked,
+                peer_labels,
+            };
+            let act = self.engine.agents.behaviors[i].on_round(&obs);
+            // Reclaim the lent label buffer (and its capacity).
+            if let Some(buf) = obs.peer_labels.take() {
+                *label_buf = buf;
+            }
+            self.engine.agents.just_woken[i] = false;
+            self.engine.agents.phase[i] = AgentPhase::Active;
+            if !matches!(act, AgentAct::Wait) {
+                all_waited = false;
+            }
+            *slot = Some(act);
+        }
+
+        // 5. Apply actions simultaneously.
+        for (i, act) in acts.iter().enumerate() {
+            let Some(act) = *act else { continue };
+            match act {
+                AgentAct::Wait => {}
+                AgentAct::TakePort(p) => {
+                    let pos = self.engine.agents.pos[i];
+                    match self.engine.graph.neighbor(pos, p) {
+                        // A port that exists in the base graph but whose
+                        // edge is absent this round blocks: the agent
+                        // stays put (entry port untouched) and its next
+                        // observation reports it. A nonexistent port is
+                        // still a protocol violation — dynamics never
+                        // change the degree an agent observes.
+                        Some(_) if !self.engine.view.edge_present(pos, p) => {
+                            self.engine.agents.phase[i] = AgentPhase::Blocked;
+                            self.stats.blocked_moves += 1;
+                            if let Some(t) = self.trace.as_mut() {
+                                t.push(TraceEvent::Blocked {
+                                    agent: self.engine.agents.labels[i],
+                                    round,
+                                    node: pos,
+                                    port: p,
+                                });
+                            }
+                        }
+                        Some((to, back)) => {
+                            if let Some(t) = self.trace.as_mut() {
+                                t.push(TraceEvent::Move {
+                                    agent: self.engine.agents.labels[i],
+                                    round,
+                                    from: pos,
+                                    to,
+                                    port: p,
+                                });
+                            }
+                            self.engine.agents.pos[i] = to;
+                            self.engine.agents.entry_port[i] = Some(back);
+                            self.stats.total_moves += 1;
+                        }
+                        None => {
+                            // Leave the scratch clean for whatever steps
+                            // next through it (a solo rerun or another run
+                            // of the same batch).
+                            for node in touched.drain(..) {
+                                card[node as usize] = 0;
+                                occupants[node as usize].clear();
+                            }
+                            return Some(Err(SimError::InvalidPort {
+                                agent: self.engine.agents.labels[i],
+                                node: pos,
+                                port: p,
+                                round,
+                            }));
+                        }
+                    }
+                }
+                AgentAct::Declare(d) => {
+                    self.engine.agents.declared[i] = Some(DeclarationRecord {
+                        round,
+                        node: self.engine.agents.pos[i],
+                        declaration: d,
+                    });
+                    self.engine.agents.phase[i] = AgentPhase::Declared;
+                    self.stats.last_declaration_round =
+                        self.stats.last_declaration_round.max(round);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent::Declare {
+                            agent: self.engine.agents.labels[i],
+                            round,
+                            node: self.engine.agents.pos[i],
+                            declaration: d,
+                        });
+                    }
+                }
+            }
+        }
+
+        // End-of-round wipe: clear exactly the nodes occupied this round,
+        // restoring the all-zero scratch invariant interleaved runs rely
+        // on.
+        for node in touched.drain(..) {
+            card[node as usize] = 0;
+            occupants[node as usize].clear();
+        }
+
+        // A run ends when every agent is terminal. All declared is the
+        // paper's successful end; any crash among otherwise-declared
+        // agents halts the run early too — nothing can change anymore —
+        // but reports `Halted` (the crashed agents never declared).
+        if self.engine.agents.phase.iter().all(|p| p.is_terminal()) {
+            let crashed = self.engine.agents.phase.contains(&AgentPhase::Crashed);
+            let (status, rounds) = if crashed {
+                (
+                    RunStatus::Halted,
+                    self.stats
+                        .last_declaration_round
+                        .max(self.stats.last_crash_round),
+                )
+            } else {
+                (RunStatus::AllDeclared, self.stats.last_declaration_round)
+            };
+            return Some(Ok(self.finish(status, rounds)));
+        }
+
+        let mut next = round + 1;
+
+        // 6. Quiescence fast-forward: if every active agent waited, no
+        // observation can change until some procedure stops waiting,
+        // the adversary wakes someone, or a fault crashes someone.
+        // Skip ahead by the largest provably quiet stretch.
+        if all_waited && any_active {
+            let mut skip = u64::MAX;
+            for (&phase, behavior) in self
+                .engine
+                .agents
+                .phase
+                .iter()
+                .zip(self.engine.agents.behaviors.iter())
+            {
+                if phase.is_executing() {
+                    skip = skip.min(behavior.min_wait());
+                }
+            }
+            // Respect pending adversary wake-ups...
+            for (&phase, &wake) in self
+                .engine
+                .agents
+                .phase
+                .iter()
+                .zip(self.engine.agents.adversary_wake.iter())
+            {
+                if phase == AgentPhase::Dormant && wake != u64::MAX {
+                    skip = skip.min(wake.saturating_sub(next));
+                }
+            }
+            // ...pending crashes (a crash mid-stretch must execute in
+            // its exact round: the agent stops acting from then on)...
+            if self.pending_crashes > 0 {
+                for &crash in &self.engine.agents.crash_round {
+                    if crash != u64::MAX {
+                        skip = skip.min(crash.saturating_sub(next));
+                    }
+                }
+            }
+            // ...and the round limit.
+            skip = skip.min(self.max_rounds.saturating_sub(next));
+            if skip > 0 && skip != u64::MAX {
+                for (&phase, behavior) in self
+                    .engine
+                    .agents
+                    .phase
+                    .iter()
+                    .zip(self.engine.agents.behaviors.iter_mut())
+                {
+                    if phase.is_executing() {
+                        behavior.note_skipped(skip);
+                    }
+                }
+                next += skip;
+                self.stats.skipped_rounds += skip;
+            }
+        }
+
+        self.round = next;
+        None
     }
 
-    fn finish(
-        self,
-        status: RunStatus,
-        rounds: u64,
-        stats: RunStats,
-        trace: Option<Trace>,
-    ) -> RunOutcome {
-        let AgentArena {
-            labels,
-            phase,
-            declared,
-            ..
-        } = self.agents;
+    /// Assembles the outcome. Takes the arena's result-bearing columns out
+    /// of the run; only called once, on the terminating step.
+    fn finish(&mut self, status: RunStatus, rounds: u64) -> RunOutcome {
+        let labels = std::mem::take(&mut self.engine.agents.labels);
+        let phase = std::mem::take(&mut self.engine.agents.phase);
+        let declared = std::mem::take(&mut self.engine.agents.declared);
+        let stats = std::mem::take(&mut self.stats);
         let crashed_agents = labels
             .iter()
             .zip(phase.iter())
@@ -765,7 +863,7 @@ impl<'g, V: TopologyView, B: AgentBehavior> Engine<'g, V, B> {
             engine_iterations: stats.engine_iterations,
             skipped_rounds: stats.skipped_rounds,
             max_colocation: stats.max_colocation,
-            trace,
+            trace: self.trace.take(),
         }
     }
 }

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod behavior;
 mod engine;
 mod error;
@@ -74,6 +75,7 @@ mod trace;
 
 pub mod proc;
 
+pub use batch::BatchEngine;
 pub use behavior::{AgentAct, AgentBehavior, Declaration};
 pub use engine::{AgentPhase, Engine, EngineScratch, Sensing};
 pub use error::SimError;
