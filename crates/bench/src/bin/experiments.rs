@@ -8,6 +8,7 @@
 //! experiments t1 f3          # a subset
 //!
 //! experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]
+//! experiments hunt [--quick | --smoke] [--workers N] [--budget B] [--out DIR]
 //! ```
 //!
 //! The `campaign` subcommand expands the demo campaign (8 graph families ×
@@ -17,11 +18,17 @@
 //! threads (0 = all cores), and writes `<name>.json`, `<name>.csv` and
 //! `BENCH_campaign.json` under `--out` (default `target/campaign`). The
 //! JSON/CSV reports are bit-for-bit identical for any worker count.
+//!
+//! The `hunt` subcommand runs the budgeted adversary search over the hunt
+//! preset instances, maximizing the silent-failure objective, and writes
+//! `<name>.json` and `<name>.csv` under `--out` (default `target/hunt`).
+//! Like the campaign reports, the witness reports are bit-for-bit
+//! identical for any worker count.
 
 use std::process::ExitCode;
 
 use nochatter_bench::{all_experiment_ids, run_experiment, ExperimentCtx};
-use nochatter_lab::{presets, run_campaign};
+use nochatter_lab::{presets, run_campaign, run_search};
 
 fn run_campaign_cli(args: &[String]) -> ExitCode {
     let mut workers: usize = 0;
@@ -158,10 +165,129 @@ fn run_campaign_cli(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_hunt_cli(args: &[String]) -> ExitCode {
+    let mut workers: usize = 0;
+    let mut budget: Option<u64> = None;
+    let mut out_dir = std::path::PathBuf::from("target/hunt");
+    let mut quick = false;
+    let mut smoke = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .map(ToOwned::to_owned)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--smoke" => smoke = true,
+            "--workers" => match value_for("--workers").map(|v| v.parse()) {
+                Ok(Ok(w)) => workers = w,
+                _ => {
+                    eprintln!("--workers needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget" => match value_for("--budget").map(|v| v.parse()) {
+                Ok(Ok(b)) if b > 0 => budget = Some(b),
+                _ => {
+                    eprintln!("--budget needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match value_for("--out") {
+                Ok(dir) => out_dir = dir.into(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown hunt option: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut spec = if smoke {
+        presets::hunt_smoke_spec()
+    } else {
+        presets::hunt_spec(quick)
+    };
+    if let Some(b) = budget {
+        spec.budget = b;
+    }
+    eprintln!(
+        "# hunt '{}': {} instances, budget {} per instance, objective {}, seed {}",
+        spec.name,
+        spec.instances.len(),
+        spec.budget,
+        spec.objective.name(),
+        spec.seed
+    );
+    let report = run_search(&spec, workers);
+    for outcome in &report.outcomes {
+        let verdict = if outcome.is_failure() {
+            "FALSIFIED"
+        } else {
+            "held"
+        };
+        eprintln!(
+            "{verdict} {} after {} evaluation(s), {} improvement(s): {} ({} rounds)",
+            outcome.instance,
+            outcome.evaluations,
+            outcome.improvements,
+            outcome.record.status,
+            outcome.record.rounds
+        );
+    }
+    let artifacts = match report.write_files(&out_dir) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot write reports under {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{}/{} instances falsified with {} evaluation(s) in {:?} on {} worker(s)",
+        report.failure_count(),
+        report.outcomes.len(),
+        report.total_evaluations(),
+        report.wall,
+        report.workers
+    );
+    eprintln!(
+        "wrote {}, {}",
+        artifacts.json.display(),
+        artifacts.csv.display()
+    );
+    // A witness whose record is a panic, an engine error or an unsupported
+    // cell is a harness bug, not an adversarial finding — fail the run.
+    let broken: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| {
+            ["panic", "engine error", "unsupported"]
+                .iter()
+                .any(|p| o.record.status.starts_with(p))
+        })
+        .collect();
+    if broken.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for o in broken {
+            eprintln!("BROKEN {}: {}", o.record.key, o.record.status);
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("campaign") {
         return run_campaign_cli(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("hunt") {
+        return run_hunt_cli(&args[1..]);
     }
     let mut quick = false;
     let mut ids: Vec<String> = Vec::new();
@@ -171,7 +297,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [all | {}]\n       \
-                     experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]",
+                     experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]\n       \
+                     experiments hunt [--quick | --smoke] [--workers N] [--budget B] [--out DIR]",
                     all_experiment_ids().join(" | ")
                 );
                 return ExitCode::SUCCESS;

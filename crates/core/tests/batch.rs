@@ -9,7 +9,7 @@ use nochatter_core::harness::{
     run_scenario_batch_with_scratch, run_scenario_with_scratch, GatherScenario,
 };
 use nochatter_core::CommMode;
-use nochatter_graph::dynamic::{DynamicRing, PeriodicEdges, SeededEdgeFailure};
+use nochatter_graph::dynamic::{DynamicRing, PeriodicEdges, ScriptedRing, SeededEdgeFailure};
 use nochatter_graph::{generators, InitialConfiguration, Label, NodeId};
 use nochatter_sim::{CrashPoint, EngineScratch, FaultSpec, TopologySpec, WakeSchedule};
 
@@ -32,16 +32,21 @@ fn instance(shape: u8, n: u32, labels: (u64, u64)) -> InitialConfiguration {
 }
 
 fn topo(choice: u8, shape: u8) -> TopologySpec {
-    match choice % 4 {
+    match choice % 5 {
         0 => TopologySpec::Static,
         1 => TopologySpec::EdgeFailure(SeededEdgeFailure { p: 0.15, seed: 9 }),
         2 => TopologySpec::Periodic(PeriodicEdges {
             period: 3,
             offset: 1,
         }),
-        // A dynamic ring only runs over a cycle; fall back to static on
-        // the other shapes.
-        _ if shape.is_multiple_of(3) => TopologySpec::Ring(DynamicRing { seed: 9 }),
+        // The dynamic-ring specs only run over a cycle; fall back to
+        // static on the other shapes.
+        3 if shape.is_multiple_of(3) => TopologySpec::Ring(DynamicRing { seed: 9 }),
+        // The explicit choice-list adversary the search harness emits:
+        // remove edge 0, then nothing, then edge 1, repeating.
+        4 if shape.is_multiple_of(3) => TopologySpec::Scripted(ScriptedRing {
+            script: vec![0, ScriptedRing::KEEP_ALL, 1],
+        }),
         _ => TopologySpec::Static,
     }
 }

@@ -320,6 +320,88 @@ impl Topology for DynamicRing {
     }
 }
 
+/// The scripted dynamic ring: an *explicit* per-round removal schedule
+/// over a cycle base graph — the choice-list form of [`DynamicRing`].
+///
+/// Where [`DynamicRing`] derives its removed edge from a seed (an
+/// *oblivious* adversary), `ScriptedRing` spells out the adversary's
+/// choice for every round: in round `r` the edge with dense id
+/// `script[r % script.len()]` is absent ([`ScriptedRing::KEEP_ALL`] = no
+/// removal that round). This is the representation adversary *search*
+/// needs — each slot is one coordinate a local-search step can mutate —
+/// while staying a pure function of the round number, so the engine's
+/// quiescence fast-forward remains sound and a found witness replays
+/// bit for bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptedRing {
+    /// Removed dense edge id per round slot (cycled); must be non-empty,
+    /// and every entry must be [`ScriptedRing::KEEP_ALL`] or a valid edge
+    /// id of the base graph.
+    pub script: Vec<u32>,
+}
+
+impl ScriptedRing {
+    /// Script entry meaning "no edge removed this round" (never a valid
+    /// dense edge id).
+    pub const KEEP_ALL: u32 = u32::MAX;
+
+    /// Whether the script can run over `graph`: non-empty, cycle base
+    /// graph, every entry a valid edge id or [`ScriptedRing::KEEP_ALL`].
+    pub fn valid_for(&self, graph: &Graph) -> bool {
+        !self.script.is_empty()
+            && is_cycle(graph)
+            && self
+                .script
+                .iter()
+                .all(|&e| e == Self::KEEP_ALL || (e as usize) < graph.edge_count())
+    }
+}
+
+/// The per-run view of [`ScriptedRing`].
+#[derive(Clone, Debug)]
+pub struct ScriptedView {
+    ids: EdgeIds,
+    script: Vec<u32>,
+    removed: u32,
+}
+
+impl TopologyView for ScriptedView {
+    #[inline]
+    fn begin_round(&mut self, round: u64) {
+        let slot = (round % self.script.len() as u64) as usize;
+        self.removed = self.script[slot];
+    }
+
+    #[inline]
+    fn edge_present(&self, from: NodeId, port: Port) -> bool {
+        // Dense edge ids are < m < u32::MAX, so a KEEP_ALL slot removes
+        // nothing.
+        self.ids.id(from, port) != self.removed
+    }
+}
+
+impl Topology for ScriptedRing {
+    type View = ScriptedView;
+
+    /// # Panics
+    ///
+    /// Panics if the script is invalid for `graph` (see
+    /// [`ScriptedRing::valid_for`]).
+    fn view(&self, graph: &Graph) -> ScriptedView {
+        assert!(
+            self.valid_for(graph),
+            "ScriptedRing requires a non-empty script of valid edge ids over a cycle base graph"
+        );
+        let mut view = ScriptedView {
+            ids: EdgeIds::new(graph),
+            script: self.script.clone(),
+            removed: ScriptedRing::KEEP_ALL,
+        };
+        view.begin_round(0);
+        view
+    }
+}
+
 /// Whether `graph` is a cycle (the only base shape [`DynamicRing`]
 /// accepts): `n` nodes, `n` edges, every degree 2. Connectivity is already
 /// a [`Graph`] invariant.
@@ -346,6 +428,9 @@ pub enum TopologySpec {
     EdgeFailure(SeededEdgeFailure),
     /// The 1-interval-connected dynamic ring adversary.
     Ring(DynamicRing),
+    /// The explicit per-round-removal ring adversary (the choice-list form
+    /// adversary search mutates one slot at a time).
+    Scripted(ScriptedRing),
 }
 
 impl TopologySpec {
@@ -355,17 +440,20 @@ impl TopologySpec {
     }
 
     /// Whether the spec can run over `graph` ([`DynamicRing`] requires a
-    /// cycle; everything else accepts any base graph).
+    /// cycle, [`ScriptedRing`] a cycle plus in-range edge ids; everything
+    /// else accepts any base graph).
     pub fn compatible_with(&self, graph: &Graph) -> bool {
         match self {
             TopologySpec::Ring(_) => is_cycle(graph),
+            TopologySpec::Scripted(s) => s.valid_for(graph),
             _ => true,
         }
     }
 
     /// A short, key-safe name (`"static"`, `"per7.0"`, `"ef100@9"`,
-    /// `"dring@9"`) used as the dynamism axis of scenario keys. Failure
-    /// probabilities are rendered in permille.
+    /// `"dring@9"`, `"sring0.2.x"`) used as the dynamism axis of scenario
+    /// keys. Failure probabilities are rendered in permille; scripted
+    /// removal slots are dot-joined with `x` for "keep all edges".
     pub fn short_name(&self) -> String {
         match self {
             TopologySpec::Static => "static".into(),
@@ -378,6 +466,18 @@ impl TopologySpec {
                 )
             }
             TopologySpec::Ring(r) => format!("dring@{}", r.seed),
+            TopologySpec::Scripted(s) => format!(
+                "sring{}",
+                s.script
+                    .iter()
+                    .map(|&e| if e == ScriptedRing::KEEP_ALL {
+                        "x".into()
+                    } else {
+                        e.to_string()
+                    })
+                    .collect::<Vec<_>>()
+                    .join(".")
+            ),
         }
     }
 }
@@ -395,6 +495,7 @@ impl Topology for TopologySpec {
             TopologySpec::Periodic(p) => SpecView::Periodic(p.view(graph)),
             TopologySpec::EdgeFailure(f) => SpecView::Failure(f.view(graph)),
             TopologySpec::Ring(r) => SpecView::Ring(r.view(graph)),
+            TopologySpec::Scripted(s) => SpecView::Scripted(s.view(graph)),
         }
     }
 }
@@ -413,6 +514,8 @@ pub enum SpecView {
     Failure(FailureView),
     /// See [`DynamicRing`].
     Ring(RingView),
+    /// See [`ScriptedRing`].
+    Scripted(ScriptedView),
 }
 
 impl TopologyView for SpecView {
@@ -423,6 +526,7 @@ impl TopologyView for SpecView {
             SpecView::Periodic(v) => v.begin_round(round),
             SpecView::Failure(v) => v.begin_round(round),
             SpecView::Ring(v) => v.begin_round(round),
+            SpecView::Scripted(v) => v.begin_round(round),
         }
     }
 
@@ -433,6 +537,7 @@ impl TopologyView for SpecView {
             SpecView::Periodic(v) => v.edge_present(from, port),
             SpecView::Failure(v) => v.edge_present(from, port),
             SpecView::Ring(v) => v.edge_present(from, port),
+            SpecView::Scripted(v) => v.edge_present(from, port),
         }
     }
 }
@@ -558,6 +663,60 @@ mod tests {
     fn dynamic_ring_rejects_non_cycles() {
         let g = generators::path(4);
         let _ = DynamicRing { seed: 1 }.view(&g);
+    }
+
+    #[test]
+    fn scripted_ring_follows_its_script_and_is_pure() {
+        let g = generators::ring(5);
+        let spec = ScriptedRing {
+            script: vec![0, 3, ScriptedRing::KEEP_ALL],
+        };
+        let mut v = spec.view(&g);
+        // Round r removes script[r % 3]; a KEEP_ALL slot removes nothing.
+        for round in 0..12 {
+            let m = presence_map(&g, &mut v, round);
+            let expected_absent = if round % 3 == 2 { 0 } else { 2 };
+            assert_eq!(
+                m.iter().filter(|&&b| !b).count(),
+                expected_absent,
+                "round {round}"
+            );
+        }
+        // Pure function of the round: jumping around changes nothing (the
+        // fast-forward contract).
+        let r4 = presence_map(&g, &mut v, 4);
+        let _ = presence_map(&g, &mut v, 1000);
+        assert_eq!(presence_map(&g, &mut v, 4), r4);
+    }
+
+    #[test]
+    fn scripted_ring_validity() {
+        let ring = generators::ring(5);
+        let keep = ScriptedRing::KEEP_ALL;
+        assert!(ScriptedRing { script: vec![0, 4] }.valid_for(&ring));
+        assert!(ScriptedRing { script: vec![keep] }.valid_for(&ring));
+        // Empty script, out-of-range edge id, non-cycle base: all invalid.
+        assert!(!ScriptedRing { script: vec![] }.valid_for(&ring));
+        assert!(!ScriptedRing { script: vec![5] }.valid_for(&ring));
+        assert!(!ScriptedRing { script: vec![0] }.valid_for(&generators::path(4)));
+        let spec = TopologySpec::Scripted(ScriptedRing { script: vec![0] });
+        assert!(spec.compatible_with(&ring));
+        assert!(!spec.compatible_with(&generators::path(4)));
+        assert!(!spec.is_static());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn scripted_ring_rejects_invalid_scripts() {
+        let _ = ScriptedRing { script: vec![9] }.view(&generators::ring(4));
+    }
+
+    #[test]
+    fn scripted_ring_short_name_is_key_safe() {
+        let spec = TopologySpec::Scripted(ScriptedRing {
+            script: vec![1, ScriptedRing::KEEP_ALL, 0],
+        });
+        assert_eq!(spec.short_name(), "sring1.x.0");
     }
 
     #[test]

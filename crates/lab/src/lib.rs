@@ -54,6 +54,7 @@ mod record;
 mod report;
 mod runner;
 mod sched;
+mod search;
 
 pub mod presets;
 
@@ -64,3 +65,6 @@ pub use campaign::{
 pub use record::{trace_digest, RunRecord, ScenarioKey};
 pub use report::{CampaignArtifacts, CampaignReport};
 pub use runner::{default_workers, execute_scenario, execute_scenario_with_scratch, run_campaign};
+pub use search::{
+    run_search, AdversarySpace, Objective, SearchArtifacts, SearchOutcome, SearchReport, SearchSpec,
+};

@@ -2,12 +2,13 @@
 //! byte) and the demo campaign behind `experiments -- campaign`.
 
 use nochatter_core::CommMode;
-use nochatter_graph::dynamic::{DynamicRing, SeededEdgeFailure};
+use nochatter_graph::dynamic::{is_cycle, DynamicRing, SeededEdgeFailure};
 use nochatter_graph::generators::Family;
-use nochatter_graph::Label;
-use nochatter_sim::{CrashPoint, FaultSpec, TopologySpec, WakeSchedule};
+use nochatter_graph::{InitialConfiguration, Label};
+use nochatter_sim::{CrashPoint, FaultSpec, ScriptedRing, TopologySpec, WakeSchedule};
 
 use crate::campaign::{Campaign, Matrix};
+use crate::search::{AdversarySpace, Objective, SearchSpec};
 
 /// The pinned master seed of [`smoke_campaign`] (the golden file is
 /// recorded under it).
@@ -184,6 +185,113 @@ pub fn fr1_campaign(quick: bool) -> Campaign {
         .expect("fr1 campaign is well-formed")
 }
 
+/// The pinned master seed of the hunt presets ([`hunt_spec`] and
+/// [`hunt_smoke_spec`]): the CI smoke search's byte-identity check runs
+/// under it.
+pub const HUNT_SEED: u64 = 0xFA15E;
+
+/// The canonical adversary space the hunt presets attack an instance
+/// with, combining all three adversary axes of the dr1/fr1 studies as
+/// explicit per-round choice lists:
+///
+/// * **Wake**: agent 0 is pinned to offset 0 (some agent must self-wake);
+///   every other agent chooses among a few offsets or visit-only wake —
+///   the staggered/first-only schedules and everything between.
+/// * **Crash**: every agent but the first chooses to survive or to crash
+///   at an early, mid or late round (the FR1 axis, round by round; the
+///   first agent never crashes, so at least one survivor remains).
+/// * **Edges**: over cycle base graphs, a two-slot [`ScriptedRing`]
+///   script choosing which edge (if any) is missing on even and odd
+///   rounds — the choice-list form of the DR1 dynamic-ring adversary.
+///   All-keep decodes to the static topology, so the unperturbed cell is
+///   in the space. Empty over non-cycles.
+pub fn hunt_space(cfg: &InitialConfiguration) -> AdversarySpace {
+    let labels: Vec<Label> = cfg.labels().collect();
+    let wake_offsets = labels
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            if i == 0 {
+                vec![0]
+            } else {
+                vec![0, 1, 5, 17, u64::MAX]
+            }
+        })
+        .collect();
+    let crash_rounds = labels
+        .iter()
+        .skip(1)
+        .map(|&label| (label, vec![u64::MAX, 16, 64, 512]))
+        .collect();
+    let edge_script = if is_cycle(cfg.graph()) {
+        let edges = cfg.graph().edge_count() as u32;
+        (0..2)
+            .map(|_| {
+                let mut choices = vec![ScriptedRing::KEEP_ALL];
+                choices.extend(0..edges);
+                choices
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    AdversarySpace {
+        wake_offsets,
+        crash_rounds,
+        edge_script,
+    }
+}
+
+/// The base instances the hunt presets attack: the silent gathering cells
+/// of the dr1/fr1 instance space (rings of several sizes × the 2- and
+/// 3-agent teams), unperturbed — the search supplies the adversaries.
+fn hunt_instances(name: &str, sizes: Vec<u32>) -> Vec<(crate::campaign::Scenario, AdversarySpace)> {
+    Matrix {
+        families: vec![Family::Ring],
+        sizes,
+        teams: vec![vec![2, 3], vec![3, 5, 9]],
+        ..Matrix::new()
+    }
+    .campaign(name, HUNT_SEED)
+    .expect("hunt campaign is well-formed")
+    .scenarios()
+    .iter()
+    .map(|s| (s.clone(), hunt_space(&s.cfg)))
+    .collect()
+}
+
+/// The hunt preset behind `experiments -- hunt`: a budgeted failure
+/// search over the dr1/fr1 instance space (silent gathering on rings,
+/// both teams), [`hunt_space`] adversaries, under the pinned seed
+/// [`HUNT_SEED`]. `quick` halves the size axis and the budget.
+pub fn hunt_spec(quick: bool) -> SearchSpec {
+    let sizes: Vec<u32> = if quick { vec![4, 5] } else { vec![4, 5, 6, 8] };
+    let name = if quick { "hunt-quick" } else { "hunt" };
+    SearchSpec {
+        name: name.into(),
+        seed: HUNT_SEED,
+        budget: if quick { 32 } else { 64 },
+        objective: Objective::Failure,
+        instances: hunt_instances(name, sizes),
+    }
+}
+
+/// The tiny CI smoke search: two ring instances, a 12-evaluation budget —
+/// small enough to run twice per CI job, deterministic enough to byte-diff
+/// across worker counts.
+pub fn hunt_smoke_spec() -> SearchSpec {
+    SearchSpec {
+        name: "hunt-smoke".into(),
+        seed: HUNT_SEED,
+        budget: 12,
+        objective: Objective::Failure,
+        instances: hunt_instances("hunt-smoke", vec![4, 5])
+            .into_iter()
+            .filter(|(s, _)| s.key.team == vec![2, 3])
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +373,34 @@ mod tests {
             assert_eq!(twin.seed, s.seed, "twins must share the derived seed");
             assert_eq!(twin.cfg, s.cfg, "twins must share the base ring");
         }
+    }
+
+    #[test]
+    fn hunt_presets_cover_the_three_adversary_axes() {
+        let spec = hunt_spec(true);
+        assert_eq!(spec.seed, HUNT_SEED);
+        assert_eq!(spec.objective, Objective::Failure);
+        assert_eq!(spec.instances.len(), 4, "2 sizes × 2 teams");
+        for (base, space) in &spec.instances {
+            assert_eq!(base.key.mode, "silent");
+            assert_eq!(base.key.topo, "static", "the search supplies the adversary");
+            assert_eq!(space.wake_offsets.len(), base.key.team.len());
+            assert_eq!(space.wake_offsets[0], vec![0], "agent 0 always self-wakes");
+            assert_eq!(space.crash_rounds.len(), base.key.team.len() - 1);
+            assert_eq!(space.edge_script.len(), 2, "rings carry the edge axis");
+            assert!(space.candidates() > u128::from(spec.budget));
+        }
+        let smoke = hunt_smoke_spec();
+        assert_eq!(smoke.instances.len(), 2, "2 sizes × the 2-agent team");
+        assert_eq!(smoke.budget, 12);
+    }
+
+    #[test]
+    fn hunt_space_drops_the_edge_axis_off_cycles() {
+        let cfg = crate::campaign::spread(Family::Star.instantiate(5, 1), &[2, 3]).unwrap();
+        let space = hunt_space(&cfg);
+        assert!(space.edge_script.is_empty(), "stars are not cycles");
+        assert_eq!(space.wake_offsets.len(), 2);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub struct CampaignReport {
 }
 
 /// Escapes a string for a JSON string literal (quotes not included).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -53,7 +53,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Escapes a CSV field: quoted iff it contains a comma, quote or newline.
-fn csv_escape(s: &str) -> String {
+pub(crate) fn csv_escape(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -61,8 +61,117 @@ fn csv_escape(s: &str) -> String {
     }
 }
 
-fn opt_u64(v: Option<u64>) -> String {
+pub(crate) fn opt_u64(v: Option<u64>) -> String {
     v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+/// The shared record column list: campaign CSVs use it verbatim; the search
+/// CSV appends its per-instance columns in front of it.
+pub(crate) const RECORD_CSV_COLUMNS: &str =
+    "key,family,n,n_actual,team,wake,topo,fault,mode,variant,rep,seed,ok,status,rounds,\
+     moves,blocked_moves,crashed_agents,engine_iterations,skipped_rounds,max_colocation,\
+     leader,node,size,trace_digest";
+
+/// One record as a JSON object (no indent, no trailing comma) — the exact
+/// historical shape of [`CampaignReport::to_json`] record lines, shared with
+/// the search report so witness records diff cleanly against campaign ones.
+///
+/// Dynamism and fault fields appear only on dynamic/faulty records:
+/// unperturbed reports must stay byte-identical to their goldens.
+pub(crate) fn record_json_object(r: &RunRecord) -> String {
+    let dynamism = if r.key.topo.is_empty() || r.key.topo == "static" {
+        String::new()
+    } else {
+        format!(
+            ", \"topo\": \"{}\", \"blocked_moves\": {}",
+            json_escape(&r.key.topo),
+            r.blocked_moves
+        )
+    };
+    let fault = if r.key.fault.is_empty() || r.key.fault == "none" {
+        String::new()
+    } else {
+        format!(
+            ", \"fault\": \"{}\", \"crashed_agents\": {}",
+            json_escape(&r.key.fault),
+            r.crashed_agents
+        )
+    };
+    format!(
+        "{{\"key\": \"{key}\", \"family\": \"{family}\", \"n\": {n}, \
+         \"n_actual\": {n_actual}, \"team\": \"{team}\", \"wake\": \"{wake}\", \
+         \"mode\": \"{mode}\", \"variant\": \"{variant}\", \"rep\": {rep}, \
+         \"seed\": {seed}, \"ok\": {ok}, \"status\": \"{status}\", \
+         \"rounds\": {rounds}, \"moves\": {moves}, \
+         \"engine_iterations\": {iters}, \"skipped_rounds\": {skipped}, \
+         \"max_colocation\": {coloc}, \"leader\": {leader}, \"node\": {node}, \
+         \"size\": {size}, \"trace_digest\": {digest}{dynamism}{fault}}}",
+        key = json_escape(&r.key.canonical()),
+        family = json_escape(&r.key.family),
+        n = r.key.n,
+        n_actual = r.n_actual,
+        team = r.key.team_string(),
+        wake = json_escape(&r.key.wake),
+        mode = json_escape(&r.key.mode),
+        variant = json_escape(&r.key.variant),
+        rep = r.key.rep,
+        seed = r.seed,
+        ok = r.ok,
+        status = json_escape(&r.status),
+        rounds = r.rounds,
+        moves = r.moves,
+        iters = r.engine_iterations,
+        skipped = r.skipped_rounds,
+        coloc = r.max_colocation,
+        leader = opt_u64(r.leader),
+        node = opt_u64(r.node.map(u64::from)),
+        size = opt_u64(r.size.map(u64::from)),
+        digest = r
+            .trace_digest
+            .map_or_else(|| "null".into(), |d| format!("\"0x{d:016x}\"")),
+    )
+}
+
+/// One record as a CSV row under [`RECORD_CSV_COLUMNS`] (no trailing
+/// newline); `topo`/`fault` render as `static`/`none` on unperturbed cells.
+pub(crate) fn record_csv_row(r: &RunRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        csv_escape(&r.key.canonical()),
+        csv_escape(&r.key.family),
+        r.key.n,
+        r.n_actual,
+        r.key.team_string(),
+        csv_escape(&r.key.wake),
+        csv_escape(if r.key.topo.is_empty() {
+            "static"
+        } else {
+            &r.key.topo
+        }),
+        csv_escape(if r.key.fault.is_empty() {
+            "none"
+        } else {
+            &r.key.fault
+        }),
+        csv_escape(&r.key.mode),
+        csv_escape(&r.key.variant),
+        r.key.rep,
+        r.seed,
+        r.ok,
+        csv_escape(&r.status),
+        r.rounds,
+        r.moves,
+        r.blocked_moves,
+        r.crashed_agents,
+        r.engine_iterations,
+        r.skipped_rounds,
+        r.max_colocation,
+        r.leader.map_or_else(String::new, |v| v.to_string()),
+        r.node.map_or_else(String::new, |v| v.to_string()),
+        r.size.map_or_else(String::new, |v| v.to_string()),
+        r.trace_digest
+            .map_or_else(String::new, |d| format!("0x{d:016x}")),
+    )
 }
 
 /// Renders a throughput rate for the trajectory JSON: `null` when the wall
@@ -242,61 +351,7 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"records\": [");
         for (i, r) in self.records.iter().enumerate() {
             let comma = if i + 1 < self.records.len() { "," } else { "" };
-            // Dynamism and fault fields appear only on dynamic/faulty
-            // records: unperturbed reports must stay byte-identical to
-            // their goldens.
-            let dynamism = if r.key.topo.is_empty() || r.key.topo == "static" {
-                String::new()
-            } else {
-                format!(
-                    ", \"topo\": \"{}\", \"blocked_moves\": {}",
-                    json_escape(&r.key.topo),
-                    r.blocked_moves
-                )
-            };
-            let fault = if r.key.fault.is_empty() || r.key.fault == "none" {
-                String::new()
-            } else {
-                format!(
-                    ", \"fault\": \"{}\", \"crashed_agents\": {}",
-                    json_escape(&r.key.fault),
-                    r.crashed_agents
-                )
-            };
-            let _ = writeln!(
-                out,
-                "    {{\"key\": \"{key}\", \"family\": \"{family}\", \"n\": {n}, \
-                 \"n_actual\": {n_actual}, \"team\": \"{team}\", \"wake\": \"{wake}\", \
-                 \"mode\": \"{mode}\", \"variant\": \"{variant}\", \"rep\": {rep}, \
-                 \"seed\": {seed}, \"ok\": {ok}, \"status\": \"{status}\", \
-                 \"rounds\": {rounds}, \"moves\": {moves}, \
-                 \"engine_iterations\": {iters}, \"skipped_rounds\": {skipped}, \
-                 \"max_colocation\": {coloc}, \"leader\": {leader}, \"node\": {node}, \
-                 \"size\": {size}, \"trace_digest\": {digest}{dynamism}{fault}}}{comma}",
-                key = json_escape(&r.key.canonical()),
-                family = json_escape(&r.key.family),
-                n = r.key.n,
-                n_actual = r.n_actual,
-                team = r.key.team_string(),
-                wake = json_escape(&r.key.wake),
-                mode = json_escape(&r.key.mode),
-                variant = json_escape(&r.key.variant),
-                rep = r.key.rep,
-                seed = r.seed,
-                ok = r.ok,
-                status = json_escape(&r.status),
-                rounds = r.rounds,
-                moves = r.moves,
-                iters = r.engine_iterations,
-                skipped = r.skipped_rounds,
-                coloc = r.max_colocation,
-                leader = opt_u64(r.leader),
-                node = opt_u64(r.node.map(u64::from)),
-                size = opt_u64(r.size.map(u64::from)),
-                digest = r
-                    .trace_digest
-                    .map_or_else(|| "null".into(), |d| format!("\"0x{d:016x}\"")),
-            );
+            let _ = writeln!(out, "    {}{}", record_json_object(r), comma);
         }
         let _ = writeln!(out, "  ]");
         let _ = writeln!(out, "}}");
@@ -308,50 +363,9 @@ impl CampaignReport {
     /// `fault`/`crashed_agents` columns for every row — `static` / 0 and
     /// `none` / 0 on unperturbed cells).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "key,family,n,n_actual,team,wake,topo,fault,mode,variant,rep,seed,ok,status,rounds,\
-             moves,blocked_moves,crashed_agents,engine_iterations,skipped_rounds,max_colocation,\
-             leader,node,size,trace_digest\n",
-        );
+        let mut out = format!("{RECORD_CSV_COLUMNS}\n");
         for r in &self.records {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                csv_escape(&r.key.canonical()),
-                csv_escape(&r.key.family),
-                r.key.n,
-                r.n_actual,
-                r.key.team_string(),
-                csv_escape(&r.key.wake),
-                csv_escape(if r.key.topo.is_empty() {
-                    "static"
-                } else {
-                    &r.key.topo
-                }),
-                csv_escape(if r.key.fault.is_empty() {
-                    "none"
-                } else {
-                    &r.key.fault
-                }),
-                csv_escape(&r.key.mode),
-                csv_escape(&r.key.variant),
-                r.key.rep,
-                r.seed,
-                r.ok,
-                csv_escape(&r.status),
-                r.rounds,
-                r.moves,
-                r.blocked_moves,
-                r.crashed_agents,
-                r.engine_iterations,
-                r.skipped_rounds,
-                r.max_colocation,
-                r.leader.map_or_else(String::new, |v| v.to_string()),
-                r.node.map_or_else(String::new, |v| v.to_string()),
-                r.size.map_or_else(String::new, |v| v.to_string()),
-                r.trace_digest
-                    .map_or_else(String::new, |d| format!("0x{d:016x}")),
-            );
+            let _ = writeln!(out, "{}", record_csv_row(r));
         }
         out
     }

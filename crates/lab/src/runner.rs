@@ -37,7 +37,7 @@ use crate::sched;
 /// Event-trace capacity per scenario: enough for every small-network run
 /// the campaigns sweep; longer runs digest a deterministic prefix plus the
 /// dropped-event count.
-const TRACE_CAPACITY: usize = 1 << 16;
+pub(crate) const TRACE_CAPACITY: usize = 1 << 16;
 
 /// The number of workers [`run_campaign`] uses when the caller passes 0:
 /// the machine's available parallelism.
@@ -196,14 +196,14 @@ fn execute_batch(
 
 /// A record for a scenario that panicked: not ok, status carries the
 /// panic message, all counters zero (nothing trustworthy was measured).
-fn panic_record(scenario: &Scenario, message: &str) -> RunRecord {
+pub(crate) fn panic_record(scenario: &Scenario, message: &str) -> RunRecord {
     let mut record = base_record(scenario);
     record.status = format!("panic: {message}");
     record
 }
 
 /// The empty record every execution path starts from.
-fn base_record(scenario: &Scenario) -> RunRecord {
+pub(crate) fn base_record(scenario: &Scenario) -> RunRecord {
     RunRecord {
         key: scenario.key.clone(),
         seed: scenario.seed,
@@ -225,8 +225,11 @@ fn base_record(scenario: &Scenario) -> RunRecord {
 }
 
 /// Shared preflight of the solo and batched paths: rejects cells that must
-/// not run (filling `record.status`) and returns whether to execute.
-fn preflight(scenario: &Scenario, record: &mut RunRecord) -> bool {
+/// not run (filling `record.status`) and returns whether to execute. Every
+/// rejection names the offending [`crate::ScenarioKey`], so a skip record
+/// quoted out of context (a CLI line, a grep hit) still identifies its
+/// cell.
+pub(crate) fn preflight(scenario: &Scenario, record: &mut RunRecord) -> bool {
     // Unit tests inject a deterministic panic through a reserved family
     // name to exercise the scheduler's per-scenario isolation end to end;
     // no public scenario kind can be made to panic on purpose.
@@ -241,15 +244,17 @@ fn preflight(scenario: &Scenario, record: &mut RunRecord) -> bool {
     // them on the wrong model.
     if !scenario.topo.is_static() && !matches!(scenario.kind, ScenarioKind::Gather) {
         record.status = format!(
-            "unsupported: {} variant is static-only",
-            scenario.kind.variant_name()
+            "unsupported: {} variant is static-only (cell {})",
+            scenario.kind.variant_name(),
+            scenario.key
         );
         return false;
     }
     if !scenario.fault.is_none() && !matches!(scenario.kind, ScenarioKind::Gather) {
         record.status = format!(
-            "unsupported: {} variant has no fault axis",
-            scenario.kind.variant_name()
+            "unsupported: {} variant has no fault axis (cell {})",
+            scenario.kind.variant_name(),
+            scenario.key
         );
         return false;
     }
@@ -259,8 +264,8 @@ fn preflight(scenario: &Scenario, record: &mut RunRecord) -> bool {
     // worker thread in the provider's view constructor.
     if !scenario.topo.compatible_with(scenario.cfg.graph()) {
         record.status = format!(
-            "unsupported: topology {} cannot run over this graph",
-            scenario.key.topo
+            "unsupported: topology {} cannot run over this graph (cell {})",
+            scenario.key.topo, scenario.key
         );
         return false;
     }
@@ -340,7 +345,10 @@ pub fn execute_scenario_with_scratch(
             // the enumeration). Reject a talking-mode cell loudly instead
             // of running the silent algorithm under a mislabeled key.
             if scenario.mode != nochatter_core::CommMode::Silent {
-                record.status = "unsupported: unknown variant has no talking baseline".into();
+                record.status = format!(
+                    "unsupported: unknown variant has no talking baseline (cell {})",
+                    scenario.key
+                );
                 return record;
             }
             let mut omega = decoys.clone();
@@ -361,7 +369,7 @@ pub fn execute_scenario_with_scratch(
 /// The shared outcome-to-record tail of every execution path: fills the
 /// counters and judges the gathering property (survivors-only under a
 /// fault adversary), so the batched and solo paths cannot drift.
-fn record_outcome(
+pub(crate) fn record_outcome(
     record: &mut RunRecord,
     scenario: &Scenario,
     outcome: Result<RunOutcome, SimError>,
@@ -601,6 +609,13 @@ mod tests {
         let record = execute_scenario(&scenario);
         assert!(!record.ok);
         assert!(record.status.contains("unsupported"), "{}", record.status);
+        // The skip record names the offending cell, so the status line
+        // identifies the scenario even when quoted out of context.
+        assert!(
+            record.status.contains(&scenario.key.canonical()),
+            "{}",
+            record.status
+        );
     }
 
     #[test]
@@ -640,6 +655,11 @@ mod tests {
             "{}",
             record.status
         );
+        assert!(
+            record.status.contains(&scenario.key.canonical()),
+            "skip record must name the offending cell: {}",
+            record.status
+        );
     }
 
     #[test]
@@ -673,6 +693,52 @@ mod tests {
         let record = execute_scenario(&scenario);
         assert!(!record.ok);
         assert!(record.status.contains("static-only"), "{}", record.status);
+        assert!(
+            record.status.contains(&scenario.key.canonical()),
+            "skip record must name the offending cell: {}",
+            record.status
+        );
+    }
+
+    #[test]
+    fn faulty_cells_of_fault_free_variants_are_rejected_with_their_key() {
+        use crate::campaign::{spread, PayloadScheme, Scenario, ScenarioKind};
+        use crate::record::ScenarioKey;
+        use nochatter_graph::{generators, Label};
+        use nochatter_sim::{CrashPoint, FaultSpec};
+
+        let fault = FaultSpec::CrashAt(vec![CrashPoint {
+            label: Label::new(1).unwrap(),
+            round: 8,
+        }]);
+        let scenario = Scenario {
+            key: ScenarioKey {
+                family: "ring4".into(),
+                n: 4,
+                team: vec![1, 2],
+                wake: "simul".into(),
+                topo: "static".into(),
+                fault: fault.short_name(),
+                mode: "silent".into(),
+                variant: "gossip-u2".into(),
+                rep: 0,
+            },
+            cfg: spread(generators::ring(4), &[1, 2]).unwrap(),
+            mode: CommMode::Silent,
+            schedule: WakeSchedule::Simultaneous,
+            topo: nochatter_sim::TopologySpec::Static,
+            fault,
+            kind: ScenarioKind::Gossip(PayloadScheme::Uniform { len: 2 }),
+            seed: 1,
+        };
+        let record = execute_scenario(&scenario);
+        assert!(!record.ok);
+        assert!(record.status.contains("no fault axis"), "{}", record.status);
+        assert!(
+            record.status.contains(&scenario.key.canonical()),
+            "skip record must name the offending cell: {}",
+            record.status
+        );
     }
 
     #[test]

@@ -221,6 +221,78 @@ mod tests {
     }
 
     #[test]
+    fn zero_jobs_yield_an_empty_result_for_any_worker_count() {
+        for workers in [0, 1, 8, 64] {
+            assert!(job_ids(0, workers).is_empty(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn one_job_with_many_workers_runs_inline_exactly_once() {
+        // count <= 1 takes the inline path no matter how many workers were
+        // requested: no threads, one execution, one slot.
+        let runs = AtomicUsize::new(0);
+        let results = run_sharded(
+            1,
+            32,
+            |i, _scratch| {
+                runs.fetch_add(1, Ordering::Relaxed);
+                i + 7
+            },
+            |_, _| unreachable!("no panics"),
+        );
+        assert_eq!(results, vec![7]);
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_run_every_job_exactly_once() {
+        // 3 jobs across 16 workers: 13 deques seed empty, so idle workers
+        // scan victims that have nothing to steal and must exit cleanly,
+        // while the OnceLock slots assert each job ran exactly once.
+        let runs: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let results = run_sharded(
+            3,
+            16,
+            |i, _scratch| {
+                runs[i].fetch_add(1, Ordering::Relaxed);
+                // Keep the job in flight long enough that idle workers
+                // really do scan while the deques are empty.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                i * 100
+            },
+            |_, _| unreachable!("no panics"),
+        );
+        assert_eq!(results, vec![0, 100, 200]);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "job {i} must run once");
+        }
+    }
+
+    #[test]
+    fn stealing_from_empty_victims_terminates_with_correct_results() {
+        // Two jobs, eight workers: six workers find their own deque and
+        // every victim's deque empty (the two seeded jobs are in flight
+        // almost immediately) and must return None from the steal scan
+        // rather than spin or grab a job twice.
+        let runs: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        let results = run_sharded(
+            2,
+            8,
+            |i, _scratch| {
+                runs[i].fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                i
+            },
+            |_, _| unreachable!("no panics"),
+        );
+        assert_eq!(results, vec![0, 1]);
+        for r in &runs {
+            assert_eq!(r.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
     fn panic_message_extracts_str_and_string_payloads() {
         assert_eq!(panic_message(Box::new("static str")), "static str");
         assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");

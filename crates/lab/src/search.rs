@@ -1,0 +1,775 @@
+//! The adversary-search harness: a budgeted falsifier that hunts
+//! worst-case scenarios instead of sweeping an oblivious grid.
+//!
+//! The campaign runner evaluates a fixed matrix of adversaries; this
+//! module turns the same machinery into an *optimizer*. An
+//! [`AdversarySpace`] declares, per instance, the discrete choices the
+//! adversary controls — one wake offset per agent, one crash round per
+//! crashable agent, one removed edge per script slot of a
+//! [`ScriptedRing`](nochatter_sim::ScriptedRing) — and the search walks
+//! that space with seeded random sampling plus greedy one-mutation local
+//! search, maximizing an [`Objective`] (make the algorithm fail, or make
+//! it slow). The best candidate found becomes the instance's *witness*:
+//! a fully replayable [`Scenario`] whose key names the exact adversary.
+//!
+//! Three design rules keep the falsifier honest:
+//!
+//! * **Every candidate is a pure-function-of-round spec.** The search
+//!   only ever emits `WakeSchedule::Explicit`, `FaultSpec::CrashAt` and
+//!   `TopologySpec::Scripted` — declarative adversaries the engine
+//!   resolves before the run, so determinism and the quiescence
+//!   fast-forward survive, and any witness replays bit for bit through
+//!   the ordinary solo [`execute_scenario`](crate::execute_scenario)
+//!   path.
+//! * **Candidate batches ride the batched engine pass.** Candidates of
+//!   one instance share the base configuration and seed, so each
+//!   evaluation batch flows through
+//!   `run_scenario_batch_with_scratch` as a single instance group —
+//!   the search inner loop inherits the campaign runner's throughput.
+//! * **Determinism at any worker count.** The per-instance search is
+//!   sequential and seeded from the instance's derived seed; instances
+//!   shard over the work-stealing scheduler with index-ordered result
+//!   slots. Same spec + budget ⇒ byte-identical [`SearchReport`] JSON
+//!   and CSV for any worker count.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use nochatter_core::harness::{self, GatherScenario};
+use nochatter_graph::rng::derive_seed;
+use nochatter_graph::Label;
+use nochatter_sim::{
+    CrashPoint, EngineScratch, FaultSpec, ScriptedRing, TopologySpec, WakeSchedule,
+};
+
+use crate::campaign::{wake_name, Scenario};
+use crate::record::RunRecord;
+use crate::report::{
+    csv_escape, json_escape, record_csv_row, record_json_object, RECORD_CSV_COLUMNS,
+};
+use crate::runner;
+use crate::sched;
+
+/// Salt separating the search's candidate-sampling stream from every other
+/// consumer of a scenario seed.
+const SALT_SEARCH: u64 = 0x5EA2C4;
+
+/// How many random candidates a stuck search draws per kick (once the
+/// incumbent's whole one-mutation neighborhood has been evaluated).
+const KICK: usize = 8;
+
+/// What the falsifier maximizes, per instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Objective {
+    /// Hunt outright failures: a candidate whose run executes but does
+    /// not meet the gathering criterion beats every success; among
+    /// failures (and among successes) more rounds rank higher. The
+    /// default falsifier objective.
+    Failure,
+    /// Hunt slow gatherings: maximize rounds-to-gather over candidates
+    /// that still succeed (failures score zero — this objective measures
+    /// the adversary's *delay* power, not its kill power).
+    SlowGather,
+}
+
+impl Objective {
+    /// The short name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Failure => "failure",
+            Objective::SlowGather => "slow-gather",
+        }
+    }
+
+    /// Scores a candidate's record: a lexicographic `(rank, rounds)` pair
+    /// (bigger is worse for the algorithm, i.e. better for the
+    /// adversary). Records that never truly executed — preflight
+    /// rejections, engine errors, panics — score `(0, 0)` under either
+    /// objective: an adversary that crashes the harness has falsified
+    /// nothing.
+    pub fn score(self, record: &RunRecord) -> (u64, u64) {
+        let executed = !(record.status.starts_with("unsupported")
+            || record.status.starts_with("engine error")
+            || record.status.starts_with("panic"));
+        match self {
+            Objective::Failure => {
+                if !executed {
+                    (0, 0)
+                } else if record.ok {
+                    (1, record.rounds)
+                } else {
+                    (2, record.rounds)
+                }
+            }
+            Objective::SlowGather => {
+                if executed && record.ok {
+                    (1, record.rounds)
+                } else {
+                    (0, 0)
+                }
+            }
+        }
+    }
+}
+
+/// The discrete adversary choices of one instance, axis by axis.
+///
+/// A genotype is one `u32` choice index per axis, in axis order: first the
+/// wake axes, then the crash axes, then the edge-script axes. Every axis
+/// must offer at least one choice; an axis the space does not want to
+/// perturb simply lists its single base value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdversarySpace {
+    /// Per-agent wake-offset choice lists, in the configuration's agent
+    /// order (`u64::MAX` = never woken by the adversary, visit-only).
+    /// Offsets are relative: decoding subtracts the smallest finite
+    /// offset so some agent always wakes at round 0. Empty = keep the
+    /// base scenario's schedule.
+    pub wake_offsets: Vec<Vec<u64>>,
+    /// Per-label crash-round choice lists (`u64::MAX` = never crash).
+    /// Labels must be team members.
+    pub crash_rounds: Vec<(Label, Vec<u64>)>,
+    /// Per-slot edge-removal choice lists for a [`ScriptedRing`] script
+    /// ([`ScriptedRing::KEEP_ALL`] = remove nothing that slot). Non-empty
+    /// only over cycle base graphs. All-`KEEP_ALL` decodes to the static
+    /// topology, so the unperturbed twin is part of the space.
+    pub edge_script: Vec<Vec<u32>>,
+}
+
+impl AdversarySpace {
+    /// The number of genotype axes.
+    pub fn dims(&self) -> usize {
+        self.wake_offsets.len() + self.crash_rounds.len() + self.edge_script.len()
+    }
+
+    /// The number of choices on axis `d` (axis order: wake, crash, edges).
+    fn choices(&self, d: usize) -> usize {
+        let w = self.wake_offsets.len();
+        let c = self.crash_rounds.len();
+        if d < w {
+            self.wake_offsets[d].len()
+        } else if d < w + c {
+            self.crash_rounds[d - w].1.len()
+        } else {
+            self.edge_script[d - w - c].len()
+        }
+    }
+
+    /// The total number of distinct genotypes (an upper bound on distinct
+    /// candidates: wake normalization and the all-`KEEP_ALL` collapse make
+    /// some genotypes decode identically).
+    pub fn candidates(&self) -> u128 {
+        (0..self.dims()).map(|d| self.choices(d) as u128).product()
+    }
+
+    /// Decodes a genotype into a concrete candidate scenario over `base`'s
+    /// instance: same configuration, same derived seed, same algorithm —
+    /// only the adversary axes (and with them the key) change.
+    pub fn decode(&self, base: &Scenario, genotype: &[u32]) -> Scenario {
+        assert_eq!(genotype.len(), self.dims(), "genotype covers every axis");
+        let mut g = genotype.iter().map(|&c| c as usize);
+        let schedule = if self.wake_offsets.is_empty() {
+            base.schedule.clone()
+        } else {
+            let mut offsets: Vec<u64> = self
+                .wake_offsets
+                .iter()
+                .map(|choices| choices[g.next().expect("wake axis present")])
+                .collect();
+            // Time is measured from the first wake-up, so the schedule is
+            // only meaningful up to a shift: anchor the earliest finite
+            // offset at round 0 (the engine rejects schedules without one).
+            match offsets.iter().copied().filter(|&o| o != u64::MAX).min() {
+                Some(min) => {
+                    for o in &mut offsets {
+                        if *o != u64::MAX {
+                            *o -= min;
+                        }
+                    }
+                    WakeSchedule::Explicit(offsets)
+                }
+                // Nobody self-wakes: not a runnable schedule; keep the
+                // base one (the candidate collapses onto another point).
+                None => base.schedule.clone(),
+            }
+        };
+        let points: Vec<CrashPoint> = self
+            .crash_rounds
+            .iter()
+            .map(|&(label, ref choices)| (label, choices[g.next().expect("crash axis present")]))
+            .filter(|&(_, round)| round != u64::MAX)
+            .map(|(label, round)| CrashPoint { label, round })
+            .collect();
+        let fault = if points.is_empty() {
+            FaultSpec::None
+        } else {
+            FaultSpec::CrashAt(points)
+        };
+        let script: Vec<u32> = self
+            .edge_script
+            .iter()
+            .map(|choices| choices[g.next().expect("edge axis present")])
+            .collect();
+        let topo = if script.iter().all(|&e| e == ScriptedRing::KEEP_ALL) {
+            TopologySpec::Static
+        } else {
+            TopologySpec::Scripted(ScriptedRing { script })
+        };
+        let mut key = base.key.clone();
+        key.wake = wake_name(&schedule);
+        key.topo = topo.short_name();
+        key.fault = fault.short_name();
+        Scenario {
+            key,
+            cfg: base.cfg.clone(),
+            mode: base.mode,
+            schedule,
+            topo,
+            fault,
+            kind: base.kind.clone(),
+            seed: base.seed,
+        }
+    }
+}
+
+/// A declarative search: which instances to attack, with what adversary
+/// space, under what objective and budget.
+#[derive(Clone, Debug)]
+pub struct SearchSpec {
+    /// Search name (also the report file stem).
+    pub name: String,
+    /// The master seed the base scenarios were derived under (recorded in
+    /// the report; candidate sampling streams derive from each instance's
+    /// own scenario seed).
+    pub seed: u64,
+    /// Candidate evaluations per instance (the incumbent's first
+    /// evaluation included).
+    pub budget: u64,
+    /// What the adversary maximizes.
+    pub objective: Objective,
+    /// The instances under attack: each base scenario (the unperturbed
+    /// cell) paired with its adversary space.
+    pub instances: Vec<(Scenario, AdversarySpace)>,
+}
+
+/// The best adversary one instance's search found.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The instance sub-key (`family/n…/t…/r…`) of the attacked cell.
+    pub instance: String,
+    /// Candidate evaluations actually spent (≤ budget; less only when the
+    /// space was exhausted early).
+    pub evaluations: u64,
+    /// How many times a strictly better candidate replaced the incumbent.
+    pub improvements: u64,
+    /// The witness's objective score (`(rank, rounds)`, lexicographic).
+    pub score: (u64, u64),
+    /// The winning candidate, fully replayable: running this scenario
+    /// through [`execute_scenario`](crate::execute_scenario) reproduces
+    /// [`SearchOutcome::record`] bit for bit.
+    pub witness: Scenario,
+    /// The witness's measured record (key = the replayable witness key).
+    pub record: RunRecord,
+}
+
+impl SearchOutcome {
+    /// Whether the witness actually falsifies the algorithm: its run
+    /// executed and did not meet the gathering criterion.
+    pub fn is_failure(&self) -> bool {
+        Objective::Failure.score(&self.record).0 == 2
+    }
+}
+
+/// The collected result of one adversary search.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// Search name (also the report file stem).
+    pub name: String,
+    /// The master seed of the spec.
+    pub seed: u64,
+    /// Candidate evaluations per instance.
+    pub budget: u64,
+    /// What the adversary maximized.
+    pub objective: Objective,
+    /// One outcome per instance, in spec order.
+    pub outcomes: Vec<SearchOutcome>,
+    /// How many worker threads executed the search (not serialized into
+    /// the deterministic reports).
+    pub workers: usize,
+    /// Wall-clock duration of the search (not serialized into the
+    /// deterministic reports).
+    pub wall: Duration,
+}
+
+impl SearchReport {
+    /// How many instances ended with a genuine failure witness.
+    pub fn failure_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_failure()).count()
+    }
+
+    /// Total candidate evaluations across all instances.
+    pub fn total_evaluations(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.evaluations).sum()
+    }
+
+    /// The deterministic JSON report: search identity plus one witness
+    /// object per instance, in spec order. Identical for any worker
+    /// count (wall-clock time and worker count are excluded). Each
+    /// witness's `record` object has the exact shape of a campaign
+    /// record, so the two report kinds diff against each other cleanly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"search\": \"{}\",", json_escape(&self.name));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"budget\": {},", self.budget);
+        let _ = writeln!(out, "  \"objective\": \"{}\",", self.objective.name());
+        let _ = writeln!(out, "  \"instance_count\": {},", self.outcomes.len());
+        let _ = writeln!(out, "  \"failure_count\": {},", self.failure_count());
+        let _ = writeln!(
+            out,
+            "  \"total_evaluations\": {},",
+            self.total_evaluations()
+        );
+        let _ = writeln!(out, "  \"witnesses\": [");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let comma = if i + 1 < self.outcomes.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"instance\": \"{}\", \"evaluations\": {}, \"improvements\": {}, \
+                 \"score\": [{}, {}], \"record\": {}}}{}",
+                json_escape(&o.instance),
+                o.evaluations,
+                o.improvements,
+                o.score.0,
+                o.score.1,
+                record_json_object(&o.record),
+                comma
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// The deterministic CSV report: the search columns followed by the
+    /// witness record under the campaign record columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!(
+            "instance,evaluations,improvements,score_rank,score_rounds,{RECORD_CSV_COLUMNS}\n"
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                csv_escape(&o.instance),
+                o.evaluations,
+                o.improvements,
+                o.score.0,
+                o.score.1,
+                record_csv_row(&o.record)
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.json` and `<dir>/<name>.csv`, creating `dir`
+    /// if needed; returns the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_files(&self, dir: &Path) -> io::Result<SearchArtifacts> {
+        std::fs::create_dir_all(dir)?;
+        let artifacts = SearchArtifacts {
+            json: dir.join(format!("{}.json", self.name)),
+            csv: dir.join(format!("{}.csv", self.name)),
+        };
+        std::fs::write(&artifacts.json, self.to_json())?;
+        std::fs::write(&artifacts.csv, self.to_csv())?;
+        Ok(artifacts)
+    }
+}
+
+/// Where [`SearchReport::write_files`] put its two artifacts.
+#[derive(Clone, Debug)]
+pub struct SearchArtifacts {
+    /// The deterministic per-witness JSON report.
+    pub json: PathBuf,
+    /// The deterministic per-witness CSV report.
+    pub csv: PathBuf,
+}
+
+/// Runs the search of every instance of `spec` on `workers` threads
+/// (0 = one per available core) and collects the outcomes in spec order.
+///
+/// The report is bit-for-bit identical for any worker count: each
+/// instance's search is sequential and seeded from its own derived seed,
+/// and outcomes land in index-ordered result slots regardless of which
+/// worker ran them. An instance whose search panics yields a zero-score
+/// outcome with a `"panic: ..."` record instead of aborting the hunt.
+pub fn run_search(spec: &SearchSpec, workers: usize) -> SearchReport {
+    let workers = if workers == 0 {
+        runner::default_workers()
+    } else {
+        workers
+    }
+    .min(spec.instances.len().max(1));
+    let start = Instant::now();
+    let outcomes = sched::run_sharded(
+        spec.instances.len(),
+        workers,
+        |i, scratch| {
+            let (base, space) = &spec.instances[i];
+            search_instance(base, space, spec.objective, spec.budget, scratch)
+        },
+        |i, message| {
+            let base = &spec.instances[i].0;
+            SearchOutcome {
+                instance: base.key.instance_canonical(),
+                evaluations: 0,
+                improvements: 0,
+                score: (0, 0),
+                witness: base.clone(),
+                record: runner::panic_record(base, &message),
+            }
+        },
+    );
+    SearchReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        budget: spec.budget,
+        objective: spec.objective,
+        outcomes,
+        workers,
+        wall: start.elapsed(),
+    }
+}
+
+/// The sequential per-instance search: greedy one-mutation local search
+/// around the incumbent, with seeded random kicks once the neighborhood
+/// is exhausted. Deterministic given `(base.seed, space, budget)`.
+fn search_instance(
+    base: &Scenario,
+    space: &AdversarySpace,
+    objective: Objective,
+    budget: u64,
+    scratch: &mut EngineScratch,
+) -> SearchOutcome {
+    let dims = space.dims();
+    for d in 0..dims {
+        assert!(space.choices(d) > 0, "adversary axis {d} offers no choice");
+    }
+    let stream = derive_seed(base.seed, &[SALT_SEARCH]);
+    // Dedup on the *decoded* adversary (wake normalization and the
+    // all-KEEP_ALL collapse map several genotypes onto one candidate).
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let axis_key = |s: &Scenario| format!("{}|{}|{}", s.key.wake, s.key.topo, s.key.fault);
+
+    let mut incumbent = vec![0u32; dims];
+    let first = space.decode(base, &incumbent);
+    seen.insert(axis_key(&first));
+    let first_record = evaluate(std::slice::from_ref(&first), scratch)
+        .pop()
+        .expect("one candidate, one record");
+    let mut evaluations = 1u64;
+    let mut improvements = 0u64;
+    let mut best = (objective.score(&first_record), first, first_record);
+    let mut draws = 0u64;
+
+    while evaluations < budget {
+        let remaining = (budget - evaluations) as usize;
+        // The incumbent's one-mutation neighborhood, in axis/choice order,
+        // truncated at the remaining budget.
+        let mut batch: Vec<(Vec<u32>, Scenario)> = Vec::new();
+        'neighborhood: for d in 0..dims {
+            for choice in 0..space.choices(d) as u32 {
+                if choice == incumbent[d] {
+                    continue;
+                }
+                let mut genotype = incumbent.clone();
+                genotype[d] = choice;
+                let candidate = space.decode(base, &genotype);
+                if seen.insert(axis_key(&candidate)) {
+                    batch.push((genotype, candidate));
+                    if batch.len() == remaining {
+                        break 'neighborhood;
+                    }
+                }
+            }
+        }
+        if batch.is_empty() {
+            // Neighborhood exhausted: kick to seeded random genotypes.
+            let want = KICK.min(remaining);
+            let mut attempts = 0usize;
+            while batch.len() < want && attempts < 64 * KICK {
+                attempts += 1;
+                let genotype: Vec<u32> = (0..dims)
+                    .map(|d| {
+                        (derive_seed(stream, &[draws, d as u64]) % space.choices(d) as u64) as u32
+                    })
+                    .collect();
+                draws += 1;
+                let candidate = space.decode(base, &genotype);
+                if seen.insert(axis_key(&candidate)) {
+                    batch.push((genotype, candidate));
+                }
+            }
+            if batch.is_empty() {
+                break; // the whole reachable space is evaluated
+            }
+        }
+        let candidates: Vec<Scenario> = batch.iter().map(|(_, c)| c.clone()).collect();
+        let records = evaluate(&candidates, scratch);
+        evaluations += records.len() as u64;
+        for ((genotype, candidate), record) in batch.into_iter().zip(records) {
+            let score = objective.score(&record);
+            // Strictly-greater only: ties keep the earlier candidate, so
+            // the walk (and the witness) is deterministic.
+            if score > best.0 {
+                best = (score, candidate, record);
+                incumbent = genotype;
+                improvements += 1;
+            }
+        }
+    }
+
+    SearchOutcome {
+        instance: base.key.instance_canonical(),
+        evaluations,
+        improvements,
+        score: best.0,
+        witness: best.1,
+        record: best.2,
+    }
+}
+
+/// Measures a batch of same-instance candidates through the batched
+/// engine pass, with the identical preflight and outcome judgment the
+/// campaign runner applies — so a witness record replays bit for bit
+/// through the solo [`execute_scenario`](crate::execute_scenario) path.
+fn evaluate(candidates: &[Scenario], scratch: &mut EngineScratch) -> Vec<RunRecord> {
+    let mut records: Vec<RunRecord> = candidates.iter().map(runner::base_record).collect();
+    let mut runnable: Vec<usize> = Vec::new();
+    for (i, candidate) in candidates.iter().enumerate() {
+        if runner::preflight(candidate, &mut records[i]) {
+            runnable.push(i);
+        }
+    }
+    let batch: Vec<GatherScenario<'_>> = runnable
+        .iter()
+        .map(|&i| {
+            let s = &candidates[i];
+            GatherScenario {
+                cfg: &s.cfg,
+                mode: s.mode,
+                schedule: s.schedule.clone(),
+                topo: s.topo.clone(),
+                fault: s.fault.clone(),
+                seed: s.seed,
+                trace_capacity: Some(runner::TRACE_CAPACITY),
+            }
+        })
+        .collect();
+    let outcomes = harness::run_scenario_batch_with_scratch(&batch, scratch);
+    for (&i, outcome) in runnable.iter().zip(outcomes) {
+        runner::record_outcome(&mut records[i], &candidates[i], outcome);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{scenario_seed, spread, ScenarioKind};
+    use crate::record::ScenarioKey;
+    use nochatter_core::CommMode;
+    use nochatter_graph::generators;
+
+    fn base_scenario() -> Scenario {
+        let key = ScenarioKey {
+            family: "ring".into(),
+            n: 4,
+            team: vec![2, 3],
+            wake: "simul".into(),
+            topo: "static".into(),
+            fault: "none".into(),
+            mode: "silent".into(),
+            variant: "gather".into(),
+            rep: 0,
+        };
+        Scenario {
+            seed: scenario_seed(7, &key),
+            key,
+            cfg: spread(generators::ring(4), &[2, 3]).unwrap(),
+            mode: CommMode::Silent,
+            schedule: WakeSchedule::Simultaneous,
+            topo: TopologySpec::Static,
+            fault: FaultSpec::None,
+            kind: ScenarioKind::Gather,
+        }
+    }
+
+    fn small_space() -> AdversarySpace {
+        AdversarySpace {
+            wake_offsets: vec![vec![0], vec![0, 3, u64::MAX]],
+            crash_rounds: vec![(Label::new(3).unwrap(), vec![u64::MAX, 16])],
+            edge_script: vec![vec![ScriptedRing::KEEP_ALL, 0, 2]],
+        }
+    }
+
+    #[test]
+    fn genotype_zero_decodes_to_the_unperturbed_adversary() {
+        let base = base_scenario();
+        let space = small_space();
+        let c = space.decode(&base, &[0, 0, 0, 0]);
+        assert_eq!(c.schedule, WakeSchedule::Explicit(vec![0, 0]));
+        assert_eq!(c.fault, FaultSpec::None);
+        assert_eq!(c.topo, TopologySpec::Static);
+        assert_eq!(c.key.topo, "static");
+        assert_eq!(c.key.fault, "none");
+        assert_eq!(c.seed, base.seed, "candidates share the instance seed");
+        assert_eq!(c.cfg, base.cfg, "candidates share the instance graph");
+    }
+
+    #[test]
+    fn decode_normalizes_wake_offsets_and_builds_pure_specs() {
+        let base = base_scenario();
+        let space = AdversarySpace {
+            wake_offsets: vec![vec![5], vec![9, u64::MAX]],
+            crash_rounds: vec![(Label::new(3).unwrap(), vec![u64::MAX, 16])],
+            edge_script: vec![vec![ScriptedRing::KEEP_ALL, 1]],
+        };
+        let c = space.decode(&base, &[0, 0, 1, 1]);
+        // Offsets (5, 9) anchor at the earliest finite wake: (0, 4).
+        assert_eq!(c.schedule, WakeSchedule::Explicit(vec![0, 4]));
+        assert_eq!(
+            c.fault,
+            FaultSpec::CrashAt(vec![CrashPoint {
+                label: Label::new(3).unwrap(),
+                round: 16,
+            }])
+        );
+        assert_eq!(
+            c.topo,
+            TopologySpec::Scripted(ScriptedRing { script: vec![1] })
+        );
+        assert_eq!(c.key.wake, "explicit0.4");
+        assert_eq!(c.key.fault, "crash3@16");
+        // A schedule where nobody self-wakes is not runnable; the decode
+        // collapses onto the base schedule instead.
+        let dormant = space.decode(&base, &[0, 1, 0, 0]);
+        // (5, MAX) still has a finite anchor; craft an all-MAX space:
+        let all_max = AdversarySpace {
+            wake_offsets: vec![vec![u64::MAX], vec![u64::MAX]],
+            crash_rounds: vec![],
+            edge_script: vec![],
+        };
+        assert_eq!(dormant.schedule, WakeSchedule::Explicit(vec![0, u64::MAX]));
+        let collapsed = all_max.decode(&base, &[0, 0]);
+        assert_eq!(collapsed.schedule, base.schedule);
+    }
+
+    #[test]
+    fn objective_scores_rank_failures_over_slow_successes() {
+        let base = base_scenario();
+        let mut ok = runner::base_record(&base);
+        ok.ok = true;
+        ok.status = "gathered".into();
+        ok.rounds = 100;
+        let mut failed = ok.clone();
+        failed.ok = false;
+        failed.status = "not all agents declared".into();
+        failed.rounds = 10;
+        let mut rejected = ok.clone();
+        rejected.ok = false;
+        rejected.status = "unsupported: whatever".into();
+        assert!(Objective::Failure.score(&failed) > Objective::Failure.score(&ok));
+        assert!(Objective::Failure.score(&ok) > Objective::Failure.score(&rejected));
+        assert_eq!(Objective::Failure.score(&rejected), (0, 0));
+        assert_eq!(Objective::SlowGather.score(&ok), (1, 100));
+        assert_eq!(Objective::SlowGather.score(&failed), (0, 0));
+        assert_eq!(Objective::Failure.name(), "failure");
+        assert_eq!(Objective::SlowGather.name(), "slow-gather");
+    }
+
+    #[test]
+    fn candidate_count_is_the_choice_product() {
+        assert_eq!(small_space().candidates(), 3 * 2 * 3);
+        assert_eq!(small_space().dims(), 4);
+    }
+
+    #[test]
+    fn search_finds_the_crash_failure_and_spends_its_budget() {
+        let base = base_scenario();
+        let spec = SearchSpec {
+            name: "unit".into(),
+            seed: 7,
+            budget: 12,
+            objective: Objective::Failure,
+            instances: vec![(base, small_space())],
+        };
+        let report = run_search(&spec, 1);
+        assert_eq!(report.outcomes.len(), 1);
+        let o = &report.outcomes[0];
+        assert!(o.evaluations <= 12);
+        assert!(
+            o.is_failure(),
+            "the crash axis must yield a failure witness, got {} ({})",
+            o.record.key,
+            o.record.status
+        );
+        assert_eq!(report.failure_count(), 1);
+        assert!(o.record.key.canonical().contains("crash3@16"));
+    }
+
+    #[test]
+    fn report_serialization_is_deterministic_and_excludes_execution_facts() {
+        let base = base_scenario();
+        let spec = SearchSpec {
+            name: "unit".into(),
+            seed: 7,
+            budget: 6,
+            objective: Objective::Failure,
+            instances: vec![(base, small_space())],
+        };
+        let mut a = run_search(&spec, 1);
+        let mut b = run_search(&spec, 1);
+        a.wall = Duration::from_secs(1);
+        b.wall = Duration::from_secs(9);
+        a.workers = 1;
+        b.workers = 64;
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert!(a.to_json().contains("\"objective\": \"failure\""));
+        assert!(a
+            .to_csv()
+            .starts_with("instance,evaluations,improvements,score_rank,score_rounds,key,"));
+    }
+
+    #[test]
+    fn write_files_round_trips() {
+        let dir = std::env::temp_dir().join("nochatter-lab-search-test");
+        let spec = SearchSpec {
+            name: "unit-files".into(),
+            seed: 7,
+            budget: 2,
+            objective: Objective::SlowGather,
+            instances: vec![(base_scenario(), small_space())],
+        };
+        let report = run_search(&spec, 1);
+        let artifacts = report.write_files(&dir).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(artifacts.json).unwrap(),
+            report.to_json()
+        );
+        assert_eq!(
+            std::fs::read_to_string(artifacts.csv).unwrap(),
+            report.to_csv()
+        );
+    }
+}

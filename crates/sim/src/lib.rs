@@ -88,4 +88,8 @@ pub use trace::{Trace, TraceEvent};
 
 // The engine is generic over the round-varying topology abstraction of
 // `nochatter_graph::dynamic`; re-export the names engine users need.
-pub use nochatter_graph::dynamic::{SpecView, Static, Topology, TopologySpec, TopologyView};
+// `ScriptedRing` rides along as the explicit choice-list edge adversary —
+// the per-round analogue of `FaultSpec::CrashAt` on the crash axis.
+pub use nochatter_graph::dynamic::{
+    ScriptedRing, SpecView, Static, Topology, TopologySpec, TopologyView,
+};
