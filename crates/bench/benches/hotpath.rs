@@ -23,6 +23,7 @@ use nochatter_core::{BehaviorSlot, CommMode};
 use nochatter_explore::{Explo, Uxs};
 use nochatter_graph::dynamic::SeededEdgeFailure;
 use nochatter_graph::{algo, generators, Graph, InitialConfiguration, Label, NodeId, Port};
+use nochatter_lab::{presets, run_campaign_cached, Store};
 use nochatter_sim::proc::{ProcBehavior, Procedure};
 use nochatter_sim::FaultSpec;
 use nochatter_sim::{
@@ -370,6 +371,34 @@ fn campaign_cells_pair(c: &mut Criterion) {
     group.finish();
 }
 
+/// The result-store cache pair: the 8-cell smoke campaign through the lab
+/// runner against a cold store (fresh directory per iteration — every cell
+/// simulates, then writes through) vs a warm store (every cell loads, zero
+/// engine rounds). The delta is the end-to-end speedup a resumed or
+/// re-analyzed campaign gets from `--cache-dir`; reports are byte-identical
+/// either way (pinned by the lab's store tests).
+fn campaign_cache_pair(c: &mut Criterion) {
+    let campaign = presets::smoke_campaign();
+    let dir = std::env::temp_dir().join("nochatter-bench-campaign-cache");
+    let mut group = c.benchmark_group("campaign_cells");
+    group.throughput(Throughput::Elements(campaign.len() as u64));
+    group.bench_function("cold/k8", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Store::open(&dir).expect("temp cache dir is writable");
+            black_box(run_campaign_cached(&campaign, 1, Some(&store)))
+        })
+    });
+    group.bench_function("warm/k8", |b| {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).expect("temp cache dir is writable");
+        run_campaign_cached(&campaign, 1, Some(&store));
+        b.iter(|| black_box(run_campaign_cached(&campaign, 1, Some(&store))))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// One measured trajectory entry of `BENCH_hotpath.json`.
 struct Entry {
     /// Stable workload name — identical in quick and full mode, so the CI
@@ -543,6 +572,29 @@ fn emit_trajectory(quick: bool) {
                 },
             )
         },
+        {
+            let campaign = presets::smoke_campaign();
+            let dir = std::env::temp_dir().join("nochatter-bench-trajectory-cache");
+            let k = campaign.len() as u64;
+            measure("campaign_cells/cold/k8", k, "cells", k, s.iters, || {
+                let _ = std::fs::remove_dir_all(&dir);
+                let store = Store::open(&dir).expect("temp cache dir is writable");
+                black_box(run_campaign_cached(&campaign, 1, Some(&store)));
+            })
+        },
+        {
+            let campaign = presets::smoke_campaign();
+            let dir = std::env::temp_dir().join("nochatter-bench-trajectory-cache");
+            let k = campaign.len() as u64;
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Store::open(&dir).expect("temp cache dir is writable");
+            run_campaign_cached(&campaign, 1, Some(&store));
+            let entry = measure("campaign_cells/warm/k8", k, "cells", k, s.iters, || {
+                black_box(run_campaign_cached(&campaign, 1, Some(&store)));
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+            entry
+        },
     ];
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -597,7 +649,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = csr_traversal, round_loop, campaign_cells_pair
+    targets = csr_traversal, round_loop, campaign_cells_pair, campaign_cache_pair
 }
 
 fn main() {

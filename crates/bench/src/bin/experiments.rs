@@ -8,7 +8,9 @@
 //! experiments t1 f3          # a subset
 //!
 //! experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]
-//! experiments hunt [--quick | --smoke] [--workers N] [--budget B] [--out DIR]
+//!             [--cache-dir DIR | --no-cache]
+//! experiments hunt [--quick | --smoke] [--workers N] [--seed S] [--budget B]
+//!             [--out DIR] [--cache-dir DIR | --no-cache]
 //! ```
 //!
 //! The `campaign` subcommand expands the demo campaign (8 graph families ×
@@ -24,67 +26,151 @@
 //! `<name>.json` and `<name>.csv` under `--out` (default `target/hunt`).
 //! Like the campaign reports, the witness reports are bit-for-bit
 //! identical for any worker count.
+//!
+//! `--cache-dir DIR` runs either subcommand against the persistent result
+//! store under `DIR`: previously computed records load instead of
+//! simulating, completed work writes through immediately (killed runs
+//! resume), and the reports stay byte-identical to uncached runs.
+//! `--no-cache` wins over `--cache-dir` when both are given.
 
 use std::process::ExitCode;
 
 use nochatter_bench::{all_experiment_ids, run_experiment, ExperimentCtx};
-use nochatter_lab::{presets, run_campaign, run_search};
+use nochatter_lab::{presets, run_campaign_cached, run_search_cached, Store};
 
-fn run_campaign_cli(args: &[String]) -> ExitCode {
-    let mut workers: usize = 0;
-    let mut seed: Option<u64> = None;
-    let mut out_dir = std::path::PathBuf::from("target/campaign");
-    let mut quick = false;
-    let mut smoke = false;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        let mut value_for = |flag: &str| {
-            iter.next()
-                .map(ToOwned::to_owned)
-                .ok_or_else(|| format!("{flag} needs a value"))
+/// The flags shared by the `campaign` and `hunt` subcommands, parsed by
+/// one helper so the two cannot drift. `--budget` is accepted only where
+/// the caller opts in (the hunt).
+struct SweepArgs {
+    quick: bool,
+    smoke: bool,
+    workers: usize,
+    seed: Option<u64>,
+    budget: Option<u64>,
+    out_dir: std::path::PathBuf,
+    cache_dir: Option<std::path::PathBuf>,
+    no_cache: bool,
+}
+
+impl SweepArgs {
+    /// Parses `args` for `subcommand` (named in error messages), with
+    /// `default_out` as the `--out` fallback; `with_budget` gates the
+    /// hunt-only `--budget` flag.
+    fn parse(
+        args: &[String],
+        subcommand: &str,
+        default_out: &str,
+        with_budget: bool,
+    ) -> Result<SweepArgs, String> {
+        let mut parsed = SweepArgs {
+            quick: false,
+            smoke: false,
+            workers: 0,
+            seed: None,
+            budget: None,
+            out_dir: default_out.into(),
+            cache_dir: None,
+            no_cache: false,
         };
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--smoke" => smoke = true,
-            "--workers" => match value_for("--workers").map(|v| v.parse()) {
-                Ok(Ok(w)) => workers = w,
-                _ => {
-                    eprintln!("--workers needs a number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--seed" => match value_for("--seed").map(|v| v.parse()) {
-                Ok(Ok(s)) => seed = Some(s),
-                _ => {
-                    eprintln!("--seed needs a number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match value_for("--out") {
-                Ok(dir) => out_dir = dir.into(),
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unknown campaign option: {other}");
-                return ExitCode::FAILURE;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value_for = |flag: &str| {
+                iter.next()
+                    .map(ToOwned::to_owned)
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--quick" => parsed.quick = true,
+                "--smoke" => parsed.smoke = true,
+                "--no-cache" => parsed.no_cache = true,
+                "--workers" => match value_for("--workers").map(|v| v.parse()) {
+                    Ok(Ok(w)) => parsed.workers = w,
+                    _ => return Err("--workers needs a number".into()),
+                },
+                "--seed" => match value_for("--seed").map(|v| v.parse()) {
+                    Ok(Ok(s)) => parsed.seed = Some(s),
+                    _ => return Err("--seed needs a number".into()),
+                },
+                "--budget" if with_budget => match value_for("--budget").map(|v| v.parse()) {
+                    Ok(Ok(b)) if b > 0 => parsed.budget = Some(b),
+                    _ => return Err("--budget needs a positive number".into()),
+                },
+                "--out" => parsed.out_dir = value_for("--out")?.into(),
+                "--cache-dir" => parsed.cache_dir = Some(value_for("--cache-dir")?.into()),
+                other => return Err(format!("unknown {subcommand} option: {other}")),
             }
         }
+        Ok(parsed)
     }
+
+    /// Opens the result store when `--cache-dir` was given and
+    /// `--no-cache` was not.
+    fn open_store(&self) -> Result<Option<Store>, String> {
+        match &self.cache_dir {
+            Some(dir) if !self.no_cache => Store::open(dir)
+                .map(Some)
+                .map_err(|e| format!("cannot open result store under {}: {e}", dir.display())),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// One summary line per cached run: hit/miss/resume counts plus any
+/// degradation the store observed (corrupt entries skipped, failed
+/// writes). Prints nothing with caching off, keeping uncached output
+/// byte-identical to the pre-cache CLI.
+fn report_cache(
+    cache: Option<nochatter_lab::CacheStats>,
+    store: Option<&Store>,
+    total: u64,
+    what: &str,
+) {
+    let (Some(cache), Some(store)) = (cache, store) else {
+        return;
+    };
+    eprintln!(
+        "cache: {} hit(s), {} miss(es) — resumed {}/{} {what} from {}",
+        cache.hits,
+        cache.misses,
+        cache.hits,
+        total,
+        store.path().display()
+    );
+    let stats = store.stats();
+    if stats.corrupt_entries > 0 {
+        eprintln!(
+            "cache: skipped {} corrupt log region(s) (degraded to misses)",
+            stats.corrupt_entries
+        );
+    }
+    if stats.write_errors > 0 {
+        eprintln!(
+            "cache: {} record(s) could not be written through (run continued uncached)",
+            stats.write_errors
+        );
+    }
+}
+
+fn run_campaign_cli(args: &[String]) -> ExitCode {
+    let parsed = match SweepArgs::parse(args, "campaign", "target/campaign", false) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     // Expanding the matrix under the chosen seed means a custom --seed
     // re-derives random-family instances along with the scenario seeds.
     // (--quick only shrinks the demo matrix; the smoke matrix is fixed.)
-    let (matrix, name, default_seed) = if smoke {
+    let (matrix, name, default_seed) = if parsed.smoke {
         (presets::smoke_matrix(), "smoke", presets::SMOKE_SEED)
-    } else if quick {
+    } else if parsed.quick {
         (presets::demo_matrix(true), "demo-quick", presets::DEMO_SEED)
     } else {
         (presets::demo_matrix(false), "demo", presets::DEMO_SEED)
     };
     let campaign = matrix
-        .campaign(name, seed.unwrap_or(default_seed))
+        .campaign(name, parsed.seed.unwrap_or(default_seed))
         .expect("preset matrices are well-formed");
     eprintln!(
         "# campaign '{}': {} scenarios, seed {}",
@@ -92,8 +178,16 @@ fn run_campaign_cli(args: &[String]) -> ExitCode {
         campaign.len(),
         campaign.seed()
     );
-    let report = run_campaign(&campaign, workers);
-    let artifacts = match report.write_files(&out_dir) {
+    let store = match parsed.open_store() {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_campaign_cached(&campaign, parsed.workers, store.as_ref());
+    let out_dir = &parsed.out_dir;
+    let artifacts = match report.write_files(out_dir) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("cannot write reports under {}: {e}", out_dir.display());
@@ -118,6 +212,12 @@ fn run_campaign_cli(args: &[String]) -> ExitCode {
         sci(report.executed_rounds_per_sec()),
         sci(report.rounds_per_sec()),
         sci(report.engine_iterations_per_sec())
+    );
+    report_cache(
+        report.cache,
+        store.as_ref(),
+        report.records.len() as u64,
+        "cells",
     );
     eprintln!(
         "wrote {}, {}, {}",
@@ -166,54 +266,22 @@ fn run_campaign_cli(args: &[String]) -> ExitCode {
 }
 
 fn run_hunt_cli(args: &[String]) -> ExitCode {
-    let mut workers: usize = 0;
-    let mut budget: Option<u64> = None;
-    let mut out_dir = std::path::PathBuf::from("target/hunt");
-    let mut quick = false;
-    let mut smoke = false;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        let mut value_for = |flag: &str| {
-            iter.next()
-                .map(ToOwned::to_owned)
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--smoke" => smoke = true,
-            "--workers" => match value_for("--workers").map(|v| v.parse()) {
-                Ok(Ok(w)) => workers = w,
-                _ => {
-                    eprintln!("--workers needs a number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--budget" => match value_for("--budget").map(|v| v.parse()) {
-                Ok(Ok(b)) if b > 0 => budget = Some(b),
-                _ => {
-                    eprintln!("--budget needs a positive number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match value_for("--out") {
-                Ok(dir) => out_dir = dir.into(),
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unknown hunt option: {other}");
-                return ExitCode::FAILURE;
-            }
+    let parsed = match SweepArgs::parse(args, "hunt", "target/hunt", true) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-    }
-    let mut spec = if smoke {
-        presets::hunt_smoke_spec()
-    } else {
-        presets::hunt_spec(quick)
     };
-    if let Some(b) = budget {
+    // A custom --seed honestly re-derives the base instances under it
+    // (graphs and scenario seeds included), mirroring the campaign CLI.
+    let seed = parsed.seed.unwrap_or(presets::HUNT_SEED);
+    let mut spec = if parsed.smoke {
+        presets::hunt_smoke_spec_seeded(seed)
+    } else {
+        presets::hunt_spec_seeded(parsed.quick, seed)
+    };
+    if let Some(b) = parsed.budget {
         spec.budget = b;
     }
     eprintln!(
@@ -224,7 +292,14 @@ fn run_hunt_cli(args: &[String]) -> ExitCode {
         spec.objective.name(),
         spec.seed
     );
-    let report = run_search(&spec, workers);
+    let store = match parsed.open_store() {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_search_cached(&spec, parsed.workers, store.as_ref());
     for outcome in &report.outcomes {
         let verdict = if outcome.is_failure() {
             "FALSIFIED"
@@ -240,7 +315,8 @@ fn run_hunt_cli(args: &[String]) -> ExitCode {
             outcome.record.rounds
         );
     }
-    let artifacts = match report.write_files(&out_dir) {
+    let out_dir = &parsed.out_dir;
+    let artifacts = match report.write_files(out_dir) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("cannot write reports under {}: {e}", out_dir.display());
@@ -254,6 +330,12 @@ fn run_hunt_cli(args: &[String]) -> ExitCode {
         report.total_evaluations(),
         report.wall,
         report.workers
+    );
+    report_cache(
+        report.cache,
+        store.as_ref(),
+        report.total_evaluations(),
+        "evaluations",
     );
     eprintln!(
         "wrote {}, {}",
@@ -297,8 +379,10 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [all | {}]\n       \
-                     experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]\n       \
-                     experiments hunt [--quick | --smoke] [--workers N] [--budget B] [--out DIR]",
+                     experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR] \
+                     [--cache-dir DIR | --no-cache]\n       \
+                     experiments hunt [--quick | --smoke] [--workers N] [--seed S] [--budget B] \
+                     [--out DIR] [--cache-dir DIR | --no-cache]",
                     all_experiment_ids().join(" | ")
                 );
                 return ExitCode::SUCCESS;

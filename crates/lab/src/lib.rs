@@ -55,6 +55,7 @@ mod report;
 mod runner;
 mod sched;
 mod search;
+mod store;
 
 pub mod presets;
 
@@ -64,7 +65,15 @@ pub use campaign::{
 };
 pub use record::{trace_digest, RunRecord, ScenarioKey};
 pub use report::{CampaignArtifacts, CampaignReport};
-pub use runner::{default_workers, execute_scenario, execute_scenario_with_scratch, run_campaign};
+pub use runner::{
+    default_workers, execute_scenario, execute_scenario_with_scratch, run_campaign,
+    run_campaign_cached,
+};
 pub use search::{
-    run_search, AdversarySpace, Objective, SearchArtifacts, SearchOutcome, SearchReport, SearchSpec,
+    run_search, run_search_cached, AdversarySpace, Objective, SearchArtifacts, SearchOutcome,
+    SearchReport, SearchSpec,
+};
+pub use store::{
+    engine_fingerprint, raw_fingerprint, scenario_fingerprint, CacheStats, Store, StoreStats,
+    STORE_FORMAT_VERSION,
 };

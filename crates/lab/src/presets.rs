@@ -245,14 +245,18 @@ pub fn hunt_space(cfg: &InitialConfiguration) -> AdversarySpace {
 /// The base instances the hunt presets attack: the silent gathering cells
 /// of the dr1/fr1 instance space (rings of several sizes × the 2- and
 /// 3-agent teams), unperturbed — the search supplies the adversaries.
-fn hunt_instances(name: &str, sizes: Vec<u32>) -> Vec<(crate::campaign::Scenario, AdversarySpace)> {
+fn hunt_instances(
+    name: &str,
+    sizes: Vec<u32>,
+    seed: u64,
+) -> Vec<(crate::campaign::Scenario, AdversarySpace)> {
     Matrix {
         families: vec![Family::Ring],
         sizes,
         teams: vec![vec![2, 3], vec![3, 5, 9]],
         ..Matrix::new()
     }
-    .campaign(name, HUNT_SEED)
+    .campaign(name, seed)
     .expect("hunt campaign is well-formed")
     .scenarios()
     .iter()
@@ -265,14 +269,21 @@ fn hunt_instances(name: &str, sizes: Vec<u32>) -> Vec<(crate::campaign::Scenario
 /// both teams), [`hunt_space`] adversaries, under the pinned seed
 /// [`HUNT_SEED`]. `quick` halves the size axis and the budget.
 pub fn hunt_spec(quick: bool) -> SearchSpec {
+    hunt_spec_seeded(quick, HUNT_SEED)
+}
+
+/// [`hunt_spec`] under a custom master seed: the base instances are
+/// honestly re-derived under `seed` (not just relabeled), exactly as the
+/// campaign CLI's `--seed` re-expands its matrix.
+pub fn hunt_spec_seeded(quick: bool, seed: u64) -> SearchSpec {
     let sizes: Vec<u32> = if quick { vec![4, 5] } else { vec![4, 5, 6, 8] };
     let name = if quick { "hunt-quick" } else { "hunt" };
     SearchSpec {
         name: name.into(),
-        seed: HUNT_SEED,
+        seed,
         budget: if quick { 32 } else { 64 },
         objective: Objective::Failure,
-        instances: hunt_instances(name, sizes),
+        instances: hunt_instances(name, sizes, seed),
     }
 }
 
@@ -280,12 +291,18 @@ pub fn hunt_spec(quick: bool) -> SearchSpec {
 /// small enough to run twice per CI job, deterministic enough to byte-diff
 /// across worker counts.
 pub fn hunt_smoke_spec() -> SearchSpec {
+    hunt_smoke_spec_seeded(HUNT_SEED)
+}
+
+/// [`hunt_smoke_spec`] under a custom master seed (see
+/// [`hunt_spec_seeded`]).
+pub fn hunt_smoke_spec_seeded(seed: u64) -> SearchSpec {
     SearchSpec {
         name: "hunt-smoke".into(),
-        seed: HUNT_SEED,
+        seed,
         budget: 12,
         objective: Objective::Failure,
-        instances: hunt_instances("hunt-smoke", vec![4, 5])
+        instances: hunt_instances("hunt-smoke", vec![4, 5], seed)
             .into_iter()
             .filter(|(s, _)| s.key.team == vec![2, 3])
             .collect(),

@@ -15,6 +15,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use crate::record::{RunRecord, ScenarioKey};
+use crate::store::CacheStats;
 
 /// The collected result of one campaign run.
 #[derive(Clone, Debug)]
@@ -31,6 +32,11 @@ pub struct CampaignReport {
     /// Wall-clock duration of the run (not serialized into the
     /// deterministic reports).
     pub wall: Duration,
+    /// Cache hit/miss counts when the run went through a result store
+    /// (`None` with caching off). Surfaced only in the trajectory
+    /// artifact and the CLI summary — the deterministic JSON/CSV reports
+    /// exclude it, so they stay byte-identical across cache states.
+    pub cache: Option<CacheStats>,
 }
 
 /// Escapes a string for a JSON string literal (quotes not included).
@@ -381,6 +387,10 @@ impl CampaignReport {
     /// work. All `*_per_sec` fields are `null` when the run was too fast
     /// to time (wall clock under one microsecond) — never inflated by a
     /// floor.
+    ///
+    /// Runs executed against a result store additionally carry
+    /// `cache_hits` and `cache_misses`; uncached runs omit both fields
+    /// entirely, keeping the historical shape.
     pub fn trajectory_json(&self) -> String {
         let total_rounds: u64 = self.total_rounds();
         let total_moves: u64 = self.records.iter().map(|r| r.moves).sum();
@@ -419,6 +429,12 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"total_blocked_moves\": {total_blocked},");
         let _ = writeln!(out, "  \"total_crashed_agents\": {total_crashed},");
         let _ = writeln!(out, "  \"total_engine_iterations\": {total_iters},");
+        // Cache fields appear only on cached runs, so uncached trajectory
+        // artifacts keep their exact historical shape.
+        if let Some(cache) = self.cache {
+            let _ = writeln!(out, "  \"cache_hits\": {},", cache.hits);
+            let _ = writeln!(out, "  \"cache_misses\": {},", cache.misses);
+        }
         let _ = writeln!(out, "  \"workers\": {},", self.workers);
         let _ = writeln!(out, "  \"wall_ms\": {},", self.wall.as_millis());
         let _ = writeln!(
@@ -525,6 +541,20 @@ mod tests {
         assert!(t.contains("\"families\": [\"path\"]"));
         assert!(t.contains("\"total_executed_rounds\""));
         assert!(t.contains("\"executed_rounds_per_sec\""));
+    }
+
+    #[test]
+    fn trajectory_carries_cache_stats_only_on_cached_runs() {
+        let mut report = tiny_report();
+        assert!(!report.trajectory_json().contains("cache_"));
+        report.cache = Some(CacheStats { hits: 3, misses: 4 });
+        let t = report.trajectory_json();
+        assert!(t.contains("\"cache_hits\": 3,"));
+        assert!(t.contains("\"cache_misses\": 4,"));
+        // The deterministic reports never carry cache facts — byte
+        // identity across cache states holds by construction.
+        assert!(!report.to_json().contains("cache_"));
+        assert!(!report.to_csv().contains("cache_"));
     }
 
     #[test]

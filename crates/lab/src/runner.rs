@@ -33,6 +33,7 @@ use crate::campaign::{Campaign, Scenario, ScenarioKind};
 use crate::record::{trace_digest, RunRecord};
 use crate::report::CampaignReport;
 use crate::sched;
+use crate::store::{CacheStats, Store};
 
 /// Event-trace capacity per scenario: enough for every small-network run
 /// the campaigns sweep; longer runs digest a deterministic prefix plus the
@@ -55,6 +56,22 @@ pub fn default_workers() -> usize {
 /// panicking scenario yields a `"panic: ..."` record instead of aborting
 /// the run.
 pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
+    run_campaign_cached(campaign, workers, None)
+}
+
+/// [`run_campaign`] against an optional result store: the planning phase
+/// partitions cells into hits (loaded from the cache — byte for byte the
+/// record the engine would produce) and misses (scheduled through the
+/// ordinary work-stealing/batched path), and every completed miss job
+/// writes its records through immediately, so a killed run resumes where
+/// it stopped. Records merge in key order regardless of their source:
+/// the JSON/CSV reports are byte-identical with the cache on, off, warm,
+/// cold, or at any worker count. Panic records are never cached.
+pub fn run_campaign_cached(
+    campaign: &Campaign,
+    workers: usize,
+    store: Option<&Store>,
+) -> CampaignReport {
     let workers = if workers == 0 {
         default_workers()
     } else {
@@ -63,14 +80,43 @@ pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
     .min(campaign.len().max(1));
     let start = Instant::now();
     let scenarios = campaign.scenarios();
-    let jobs = plan_jobs(scenarios);
+    let mut slots: Vec<Option<RunRecord>> = vec![None; scenarios.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    if let Some(store) = store {
+        for (index, scenario) in scenarios.iter().enumerate() {
+            match store.lookup(scenario) {
+                Some(record) => slots[index] = Some(record),
+                None => missing.push(index),
+            }
+        }
+    } else {
+        missing = (0..scenarios.len()).collect();
+    }
+    let cache = store.map(|_| CacheStats {
+        hits: (scenarios.len() - missing.len()) as u64,
+        misses: missing.len() as u64,
+    });
+    let jobs = plan_jobs(scenarios, &missing);
     let results: Vec<Vec<(usize, RunRecord)>> = sched::run_sharded(
         jobs.len(),
         workers,
-        |job, scratch| execute_job(&jobs[job], scenarios, scratch),
+        |job, scratch| {
+            let records = execute_job(&jobs[job], scenarios, scratch);
+            // Write-through per completed job: records of a killed run are
+            // already on disk, so the next run resumes past them. The
+            // append order varies with stealing; reports don't — they
+            // merge by key order, and the store is an unordered index.
+            if let Some(store) = store {
+                for (index, record) in &records {
+                    store.insert(&scenarios[*index], record);
+                }
+            }
+            records
+        },
         // Backstop for a panic that escapes the per-scenario isolation
         // inside `execute_job` (e.g. while assembling records): fail every
-        // cell of the job honestly rather than the whole campaign.
+        // cell of the job honestly rather than the whole campaign. Panic
+        // records are harness faults, not results — never cached.
         |job, message| {
             jobs[job]
                 .iter()
@@ -79,8 +125,8 @@ pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
         },
     );
     // Scatter the jobs' records into key order. Each scenario index is
-    // owned by exactly one job; the replace() assert pins that invariant.
-    let mut slots: Vec<Option<RunRecord>> = vec![None; scenarios.len()];
+    // owned by exactly one job; the replace() assert pins that invariant
+    // (cache hits pre-fill their slots, and only miss indices form jobs).
     for (index, record) in results.into_iter().flatten() {
         let previous = slots[index].replace(record);
         assert!(previous.is_none(), "scenario {index} recorded twice");
@@ -95,16 +141,19 @@ pub fn run_campaign(campaign: &Campaign, workers: usize) -> CampaignReport {
         records,
         workers,
         wall: start.elapsed(),
+        cache,
     }
 }
 
-/// Groups scenario indices into execution jobs: gathering cells bucket by
-/// instance sub-key (first-occurrence order — a pure function of the
-/// campaign, independent of workers), everything else runs solo.
-fn plan_jobs(scenarios: &[Scenario]) -> Vec<Vec<usize>> {
+/// Groups the scenario indices in `include` into execution jobs:
+/// gathering cells bucket by instance sub-key (first-occurrence order — a
+/// pure function of the campaign and the include list, independent of
+/// workers), everything else runs solo.
+fn plan_jobs(scenarios: &[Scenario], include: &[usize]) -> Vec<Vec<usize>> {
     let mut jobs: Vec<Vec<usize>> = Vec::new();
     let mut by_instance: HashMap<String, usize> = HashMap::new();
-    for (index, scenario) in scenarios.iter().enumerate() {
+    for &index in include {
+        let scenario = &scenarios[index];
         if matches!(scenario.kind, ScenarioKind::Gather) {
             match by_instance.entry(scenario.key.instance_canonical()) {
                 std::collections::hash_map::Entry::Occupied(slot) => {
@@ -482,7 +531,8 @@ mod tests {
     #[test]
     fn instance_batches_group_all_execution_axes() {
         let c = campaign();
-        let jobs = plan_jobs(c.scenarios());
+        let all: Vec<usize> = (0..c.len()).collect();
+        let jobs = plan_jobs(c.scenarios(), &all);
         // 2 families × 2 sizes × 1 team × 1 rep = 4 instances, each with
         // 2 schedules × 2 modes = 4 cells.
         assert_eq!(jobs.len(), 4);

@@ -52,6 +52,7 @@ use crate::report::{
 };
 use crate::runner;
 use crate::sched;
+use crate::store::{CacheStats, Store};
 
 /// Salt separating the search's candidate-sampling stream from every other
 /// consumer of a scenario seed.
@@ -303,6 +304,10 @@ pub struct SearchReport {
     /// Wall-clock duration of the search (not serialized into the
     /// deterministic reports).
     pub wall: Duration,
+    /// Candidate-evaluation cache hit/miss counts when the search ran
+    /// against a result store (`None` with caching off; not serialized
+    /// into the deterministic reports).
+    pub cache: Option<CacheStats>,
 }
 
 impl SearchReport {
@@ -413,6 +418,18 @@ pub struct SearchArtifacts {
 /// worker ran them. An instance whose search panics yields a zero-score
 /// outcome with a `"panic: ..."` record instead of aborting the hunt.
 pub fn run_search(spec: &SearchSpec, workers: usize) -> SearchReport {
+    run_search_cached(spec, workers, None)
+}
+
+/// [`run_search`] against an optional result store: every candidate a
+/// search evaluates is an ordinary [`Scenario`] with a fully replayable
+/// key, so its record caches exactly like a campaign cell — a warm
+/// re-run of the same spec serves the whole walk from the store, and the
+/// per-instance baseline cell (genotype zero) hits across presets that
+/// share instances. Cached and engine-produced records are bitwise
+/// identical, so the walk — and with it the deterministic reports — is
+/// unchanged by the cache state.
+pub fn run_search_cached(spec: &SearchSpec, workers: usize, store: Option<&Store>) -> SearchReport {
     let workers = if workers == 0 {
         runner::default_workers()
     } else {
@@ -420,12 +437,13 @@ pub fn run_search(spec: &SearchSpec, workers: usize) -> SearchReport {
     }
     .min(spec.instances.len().max(1));
     let start = Instant::now();
+    let stats_before = store.map(|s| s.stats());
     let outcomes = sched::run_sharded(
         spec.instances.len(),
         workers,
         |i, scratch| {
             let (base, space) = &spec.instances[i];
-            search_instance(base, space, spec.objective, spec.budget, scratch)
+            search_instance(base, space, spec.objective, spec.budget, scratch, store)
         },
         |i, message| {
             let base = &spec.instances[i].0;
@@ -439,6 +457,16 @@ pub fn run_search(spec: &SearchSpec, workers: usize) -> SearchReport {
             }
         },
     );
+    let cache = match (store, stats_before) {
+        (Some(s), Some(before)) => {
+            let after = s.stats();
+            Some(CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            })
+        }
+        _ => None,
+    };
     SearchReport {
         name: spec.name.clone(),
         seed: spec.seed,
@@ -447,6 +475,7 @@ pub fn run_search(spec: &SearchSpec, workers: usize) -> SearchReport {
         outcomes,
         workers,
         wall: start.elapsed(),
+        cache,
     }
 }
 
@@ -459,6 +488,7 @@ fn search_instance(
     objective: Objective,
     budget: u64,
     scratch: &mut EngineScratch,
+    store: Option<&Store>,
 ) -> SearchOutcome {
     let dims = space.dims();
     for d in 0..dims {
@@ -473,7 +503,7 @@ fn search_instance(
     let mut incumbent = vec![0u32; dims];
     let first = space.decode(base, &incumbent);
     seen.insert(axis_key(&first));
-    let first_record = evaluate(std::slice::from_ref(&first), scratch)
+    let first_record = evaluate(std::slice::from_ref(&first), scratch, store)
         .pop()
         .expect("one candidate, one record");
     let mut evaluations = 1u64;
@@ -524,7 +554,7 @@ fn search_instance(
             }
         }
         let candidates: Vec<Scenario> = batch.iter().map(|(_, c)| c.clone()).collect();
-        let records = evaluate(&candidates, scratch);
+        let records = evaluate(&candidates, scratch, store);
         evaluations += records.len() as u64;
         for ((genotype, candidate), record) in batch.into_iter().zip(records) {
             let score = objective.score(&record);
@@ -552,12 +582,26 @@ fn search_instance(
 /// engine pass, with the identical preflight and outcome judgment the
 /// campaign runner applies — so a witness record replays bit for bit
 /// through the solo [`execute_scenario`](crate::execute_scenario) path.
-fn evaluate(candidates: &[Scenario], scratch: &mut EngineScratch) -> Vec<RunRecord> {
+///
+/// With a store, runnable candidates are served from the cache where
+/// possible and the rest write through after execution; the returned
+/// records are bitwise independent of the cache state (cached entries
+/// *are* prior engine output, re-verified by key and seed), so the
+/// search walk does not fork on cache hits.
+fn evaluate(
+    candidates: &[Scenario],
+    scratch: &mut EngineScratch,
+    store: Option<&Store>,
+) -> Vec<RunRecord> {
     let mut records: Vec<RunRecord> = candidates.iter().map(runner::base_record).collect();
     let mut runnable: Vec<usize> = Vec::new();
     for (i, candidate) in candidates.iter().enumerate() {
         if runner::preflight(candidate, &mut records[i]) {
-            runnable.push(i);
+            if let Some(cached) = store.and_then(|s| s.lookup(candidate)) {
+                records[i] = cached;
+            } else {
+                runnable.push(i);
+            }
         }
     }
     let batch: Vec<GatherScenario<'_>> = runnable
@@ -578,6 +622,9 @@ fn evaluate(candidates: &[Scenario], scratch: &mut EngineScratch) -> Vec<RunReco
     let outcomes = harness::run_scenario_batch_with_scratch(&batch, scratch);
     for (&i, outcome) in runnable.iter().zip(outcomes) {
         runner::record_outcome(&mut records[i], &candidates[i], outcome);
+        if let Some(store) = store {
+            store.insert(&candidates[i], &records[i]);
+        }
     }
     records
 }
