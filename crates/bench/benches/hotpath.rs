@@ -23,7 +23,7 @@ use nochatter_core::{BehaviorSlot, CommMode};
 use nochatter_explore::{Explo, Uxs};
 use nochatter_graph::dynamic::SeededEdgeFailure;
 use nochatter_graph::{algo, generators, Graph, InitialConfiguration, Label, NodeId, Port};
-use nochatter_lab::{presets, run_campaign_cached, Store};
+use nochatter_lab::{presets, run_campaign_cached, run_search_with, Store};
 use nochatter_sim::proc::{ProcBehavior, Procedure};
 use nochatter_sim::FaultSpec;
 use nochatter_sim::{
@@ -167,6 +167,8 @@ struct Scale {
     /// Steps of the pseudorandom sequence driving the dispatch-pair EXPLO
     /// walkers (one run = `2 * explo_steps + 1` rounds).
     explo_steps: usize,
+    /// Per-instance evaluation budget of the hunt fork/scratch pair.
+    hunt_budget: u64,
     iters: u64,
 }
 
@@ -176,6 +178,7 @@ const FULL: Scale = Scale {
     engine_rounds: 100_000,
     short_runs: 256,
     explo_steps: 8192,
+    hunt_budget: 16,
     iters: 10,
 };
 
@@ -185,6 +188,7 @@ const QUICK: Scale = Scale {
     engine_rounds: 1_000,
     short_runs: 8,
     explo_steps: 64,
+    hunt_budget: 4,
     iters: 1,
 };
 
@@ -399,6 +403,27 @@ fn campaign_cache_pair(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The checkpoint/fork pair: the late-outage hunt (every candidate
+/// diverges from the incumbent deep in the endgame, so forked evaluation
+/// resumes past ~3/4 of each run) with candidate forking on vs forcibly
+/// off. Reports are byte-identical either way (pinned by the lab's search
+/// tests); the wall-time delta here is the echo of the executed-rounds
+/// reduction the trajectory artifact records hardware-independently.
+fn hunt_evals_pair(c: &mut Criterion) {
+    let spec = presets::late_outage_spec(scale().hunt_budget);
+    let mut group = c.benchmark_group("hunt_evals");
+    group.throughput(Throughput::Elements(
+        spec.budget * spec.instances.len() as u64,
+    ));
+    group.bench_function("forked", |b| {
+        b.iter(|| black_box(run_search_with(&spec, 1, None, true)))
+    });
+    group.bench_function("scratch", |b| {
+        b.iter(|| black_box(run_search_with(&spec, 1, None, false)))
+    });
+    group.finish();
+}
+
 /// One measured trajectory entry of `BENCH_hotpath.json`.
 struct Entry {
     /// Stable workload name — identical in quick and full mode, so the CI
@@ -583,6 +608,72 @@ fn emit_trajectory(quick: bool) {
             })
         },
         {
+            let spec = presets::late_outage_spec(s.hunt_budget);
+            // `units_per_iter` carries the hardware-independent fact: the
+            // engine iterations one search actually executes. The forked
+            // and scratch entries run the byte-identical search, so their
+            // unit counts divide into the honest per-evaluation reduction.
+            let rounds = run_search_with(&spec, 1, None, true).total_executed_rounds();
+            measure(
+                "hunt_evals/forked",
+                s.hunt_budget,
+                "executed_rounds",
+                rounds,
+                s.iters,
+                || {
+                    black_box(run_search_with(&spec, 1, None, true));
+                },
+            )
+        },
+        {
+            let spec = presets::late_outage_spec(s.hunt_budget);
+            let rounds = run_search_with(&spec, 1, None, false).total_executed_rounds();
+            measure(
+                "hunt_evals/scratch",
+                s.hunt_budget,
+                "executed_rounds",
+                rounds,
+                s.iters,
+                || {
+                    black_box(run_search_with(&spec, 1, None, false));
+                },
+            )
+        },
+        {
+            // The dr1/fr1 quick preset is the fork engine's worst case —
+            // its wake/crash axes diverge within the first few hundred
+            // rounds of runs lasting tens of thousands, so there is
+            // almost no prefix to share. Recording it beside the
+            // late-outage pair keeps the trajectory honest about both
+            // regimes instead of showcasing only the favorable one.
+            let spec = presets::hunt_spec(true);
+            let rounds = run_search_with(&spec, 1, None, true).total_executed_rounds();
+            measure(
+                "hunt_evals/quick_forked",
+                spec.budget,
+                "executed_rounds",
+                rounds,
+                s.iters,
+                || {
+                    black_box(run_search_with(&spec, 1, None, true));
+                },
+            )
+        },
+        {
+            let spec = presets::hunt_spec(true);
+            let rounds = run_search_with(&spec, 1, None, false).total_executed_rounds();
+            measure(
+                "hunt_evals/quick_scratch",
+                spec.budget,
+                "executed_rounds",
+                rounds,
+                s.iters,
+                || {
+                    black_box(run_search_with(&spec, 1, None, false));
+                },
+            )
+        },
+        {
             let campaign = presets::smoke_campaign();
             let dir = std::env::temp_dir().join("nochatter-bench-trajectory-cache");
             let k = campaign.len() as u64;
@@ -649,7 +740,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = csr_traversal, round_loop, campaign_cells_pair, campaign_cache_pair
+    targets = csr_traversal, round_loop, campaign_cells_pair, campaign_cache_pair, hunt_evals_pair
 }
 
 fn main() {

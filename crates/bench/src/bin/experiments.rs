@@ -10,7 +10,7 @@
 //! experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR]
 //!             [--cache-dir DIR | --no-cache]
 //! experiments hunt [--quick | --smoke] [--workers N] [--seed S] [--budget B]
-//!             [--out DIR] [--cache-dir DIR | --no-cache]
+//!             [--no-fork] [--out DIR] [--cache-dir DIR | --no-cache]
 //! ```
 //!
 //! The `campaign` subcommand expands the demo campaign (8 graph families ×
@@ -23,9 +23,13 @@
 //!
 //! The `hunt` subcommand runs the budgeted adversary search over the hunt
 //! preset instances, maximizing the silent-failure objective, and writes
-//! `<name>.json` and `<name>.csv` under `--out` (default `target/hunt`).
-//! Like the campaign reports, the witness reports are bit-for-bit
-//! identical for any worker count.
+//! `<name>.json`, `<name>.csv` and `BENCH_search.json` under `--out`
+//! (default `target/hunt`). Candidates fork from checkpoints of the
+//! incumbent's run by default; `--no-fork` (or `NOCHATTER_NO_FORK=1`)
+//! evaluates everything from scratch instead. Like the campaign reports,
+//! the witness reports are bit-for-bit identical for any worker count,
+//! with forking on or off; `--budget 0` records each instance's
+//! unperturbed baseline as its witness.
 //!
 //! `--cache-dir DIR` runs either subcommand against the persistent result
 //! store under `DIR`: previously computed records load instead of
@@ -36,7 +40,7 @@
 use std::process::ExitCode;
 
 use nochatter_bench::{all_experiment_ids, run_experiment, ExperimentCtx};
-use nochatter_lab::{presets, run_campaign_cached, run_search_cached, Store};
+use nochatter_lab::{presets, run_campaign_cached, run_search_with, Store};
 
 /// The flags shared by the `campaign` and `hunt` subcommands, parsed by
 /// one helper so the two cannot drift. `--budget` is accepted only where
@@ -50,6 +54,7 @@ struct SweepArgs {
     out_dir: std::path::PathBuf,
     cache_dir: Option<std::path::PathBuf>,
     no_cache: bool,
+    no_fork: bool,
 }
 
 impl SweepArgs {
@@ -71,6 +76,7 @@ impl SweepArgs {
             out_dir: default_out.into(),
             cache_dir: None,
             no_cache: false,
+            no_fork: false,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -91,10 +97,13 @@ impl SweepArgs {
                     Ok(Ok(s)) => parsed.seed = Some(s),
                     _ => return Err("--seed needs a number".into()),
                 },
+                // --budget 0 is meaningful: record the unperturbed
+                // baseline as the witness without mutating anything.
                 "--budget" if with_budget => match value_for("--budget").map(|v| v.parse()) {
-                    Ok(Ok(b)) if b > 0 => parsed.budget = Some(b),
-                    _ => return Err("--budget needs a positive number".into()),
+                    Ok(Ok(b)) => parsed.budget = Some(b),
+                    _ => return Err("--budget needs a number".into()),
                 },
+                "--no-fork" if with_budget => parsed.no_fork = true,
                 "--out" => parsed.out_dir = value_for("--out")?.into(),
                 "--cache-dir" => parsed.cache_dir = Some(value_for("--cache-dir")?.into()),
                 other => return Err(format!("unknown {subcommand} option: {other}")),
@@ -292,6 +301,12 @@ fn run_hunt_cli(args: &[String]) -> ExitCode {
         spec.objective.name(),
         spec.seed
     );
+    if spec.budget == 0 {
+        eprintln!(
+            "budget 0: recording each instance's unperturbed baseline as its \
+             witness — no mutations will be tried"
+        );
+    }
     let store = match parsed.open_store() {
         Ok(store) => store,
         Err(e) => {
@@ -299,7 +314,11 @@ fn run_hunt_cli(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = run_search_cached(&spec, parsed.workers, store.as_ref());
+    // `--no-fork` (or NOCHATTER_NO_FORK=1) forces every candidate to run
+    // from scratch; the reports are byte-identical either way (CI diffs
+    // them), so the flag exists for exactly that check and for bisecting.
+    let fork = !parsed.no_fork && std::env::var_os("NOCHATTER_NO_FORK").is_none();
+    let report = run_search_with(&spec, parsed.workers, store.as_ref(), fork);
     for outcome in &report.outcomes {
         let verdict = if outcome.is_failure() {
             "FALSIFIED"
@@ -331,6 +350,27 @@ fn run_hunt_cli(args: &[String]) -> ExitCode {
         report.wall,
         report.workers
     );
+    // Execution facts (they never enter the deterministic reports): how
+    // hard the engine actually worked, and how much of it forking skipped.
+    let fixed = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.1}"));
+    eprintln!(
+        "work: {} executed rounds ({} per evaluation), {} evaluations/s",
+        report.total_executed_rounds(),
+        fixed(report.executed_rounds_per_evaluation()),
+        fixed(report.evaluations_per_sec())
+    );
+    if fork {
+        eprintln!(
+            "fork: {} of {} evaluation(s) resumed from checkpoints, {} executed \
+             rounds saved gross ({} spent building ladders)",
+            report.total_forked_evals(),
+            report.total_evaluations(),
+            report.total_rounds_saved(),
+            report.total_ladder_rounds()
+        );
+    } else {
+        eprintln!("fork: off (every candidate evaluated from scratch)");
+    }
     report_cache(
         report.cache,
         store.as_ref(),
@@ -338,9 +378,10 @@ fn run_hunt_cli(args: &[String]) -> ExitCode {
         "evaluations",
     );
     eprintln!(
-        "wrote {}, {}",
+        "wrote {}, {}, {}",
         artifacts.json.display(),
-        artifacts.csv.display()
+        artifacts.csv.display(),
+        artifacts.trajectory.display()
     );
     // A witness whose record is a panic, an engine error or an unsupported
     // cell is a harness bug, not an adversarial finding — fail the run.
@@ -382,7 +423,7 @@ fn main() -> ExitCode {
                      experiments campaign [--quick | --smoke] [--workers N] [--seed S] [--out DIR] \
                      [--cache-dir DIR | --no-cache]\n       \
                      experiments hunt [--quick | --smoke] [--workers N] [--seed S] [--budget B] \
-                     [--out DIR] [--cache-dir DIR | --no-cache]",
+                     [--no-fork] [--out DIR] [--cache-dir DIR | --no-cache]",
                     all_experiment_ids().join(" | ")
                 );
                 return ExitCode::SUCCESS;

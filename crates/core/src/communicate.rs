@@ -30,7 +30,7 @@ pub struct CommunicateOutcome {
     pub k: u32,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Stage {
     /// Line 2: read `c` and decide participation on the first observation.
     Start,
@@ -59,7 +59,7 @@ enum Stage {
 /// let comm = Communicate::new(6, s, true, uxs);
 /// assert_eq!(comm.duration(), 6 * 5 * 4);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Communicate {
     i: u32,
     s: BitStr,

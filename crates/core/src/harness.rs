@@ -9,8 +9,8 @@ use std::sync::{Arc, Mutex};
 
 use nochatter_graph::{InitialConfiguration, Label};
 use nochatter_sim::{
-    BatchEngine, Engine, EngineScratch, FaultSpec, RunOutcome, Sensing, SimError, Static, Topology,
-    TopologySpec, WakeSchedule,
+    ActiveRun, BatchEngine, Engine, EngineScratch, FaultSpec, RunCheckpoint, RunOutcome, Sensing,
+    SimError, SpecView, Static, Topology, TopologySpec, WakeSchedule,
 };
 
 use crate::codec::BitStr;
@@ -395,6 +395,125 @@ where
         engines.push(engine, limit);
     }
     engines.run(scratch)
+}
+
+/// A mid-flight snapshot of one gathering scenario run — the
+/// checkpoint/fork currency of the adversary search's prefix-sharing
+/// incremental evaluation.
+///
+/// Produced by [`ScenarioRun::checkpoint`] along one scenario's
+/// trajectory; a *different* scenario over the same configuration can then
+/// fast-start from it via [`ScenarioRun::resume_from`], provided the two
+/// adversary specs agree on every round before [`ScenarioCheckpoint::round`]
+/// (the caller derives that bound from the specs — see the divergence-round
+/// computation in `nochatter-lab`'s search module).
+pub struct ScenarioCheckpoint {
+    cp: RunCheckpoint<BehaviorSlot>,
+}
+
+impl ScenarioCheckpoint {
+    /// The first round a run resumed from this checkpoint executes.
+    pub fn round(&self) -> u64 {
+        self.cp.round()
+    }
+
+    /// The engine iterations the checkpointed prefix had executed — the
+    /// work a resumed run skips.
+    pub fn executed_rounds(&self) -> u64 {
+        self.cp.executed_rounds()
+    }
+}
+
+/// One known-upper-bound gathering scenario being stepped round by round,
+/// with checkpoint capture and resume — the solo, incremental counterpart
+/// of [`run_scenario_batch_with_scratch`].
+///
+/// Wiring is identical to [`run_scenario_with_scratch`] (same behaviors,
+/// sensing, faults, schedule, round limit), except the engine always runs
+/// under the enum-dispatched [`SpecView`] so checkpoints taken under a
+/// static spec can seed runs under scripted-ring specs and vice versa; a
+/// [`TopologySpec::Static`] view answers exactly like the zero-cost
+/// [`Static`] one, so outcomes stay bitwise identical to the batch path's.
+pub struct ScenarioRun<'g> {
+    run: ActiveRun<'g, SpecView, BehaviorSlot>,
+}
+
+impl<'g> ScenarioRun<'g> {
+    /// Validates and prepares the scenario for stepping. `setup` must be
+    /// built from the same `(cfg, seed)` as the scenario (callers share
+    /// one [`KnownSetup`] — the dominant per-scenario cost — across every
+    /// candidate of an instance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine setup errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's topology is incompatible with its graph.
+    pub fn begin(
+        s: &GatherScenario<'g>,
+        setup: &KnownSetup,
+        scratch: &mut EngineScratch,
+    ) -> Result<Self, SimError> {
+        let mut engine: Engine<'g, SpecView, BehaviorSlot> =
+            Engine::with_parts(s.cfg.graph(), &s.topo);
+        engine.set_sensing(sensing_for(s.mode));
+        engine.set_faults(s.fault.clone());
+        if let Some(capacity) = s.trace_capacity {
+            engine.record_trace(capacity);
+        }
+        for &(label, node) in s.cfg.agents() {
+            engine.add_agent(
+                label,
+                node,
+                BehaviorSlot::known_gather(setup.params.clone(), label, s.mode),
+            );
+        }
+        engine.set_wake_schedule(s.schedule.clone());
+        let limit = setup.params.round_limit(s.cfg.smallest_label_bit_len());
+        Ok(ScenarioRun {
+            run: ActiveRun::begin(engine, limit, scratch)?,
+        })
+    }
+
+    /// The round the next [`ScenarioRun::step`] will simulate.
+    pub fn next_round(&self) -> u64 {
+        self.run.next_round()
+    }
+
+    /// Executes one round-loop iteration; `Some` once the run terminated.
+    pub fn step(&mut self, scratch: &mut EngineScratch) -> Option<Result<RunOutcome, SimError>> {
+        self.run.step(scratch)
+    }
+
+    /// Runs the remaining rounds to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors (invalid port) from any behavior.
+    pub fn finish(mut self, scratch: &mut EngineScratch) -> Result<RunOutcome, SimError> {
+        loop {
+            if let Some(result) = self.run.step(scratch) {
+                return result;
+            }
+        }
+    }
+
+    /// Snapshots the run at the current round boundary; `None` if any
+    /// behavior declines to fork (see
+    /// [`nochatter_sim::ForkableBehavior`]).
+    pub fn checkpoint(&self) -> Option<ScenarioCheckpoint> {
+        self.run.checkpoint().map(|cp| ScenarioCheckpoint { cp })
+    }
+
+    /// Overwrites this freshly begun run's state with the checkpoint's.
+    /// Returns `false` (run untouched) when shapes differ or a behavior
+    /// declines to fork. See [`ActiveRun::resume_from`] for the validity
+    /// contract the caller must uphold.
+    pub fn resume_from(&mut self, cp: &ScenarioCheckpoint) -> bool {
+        self.run.resume_from(&cp.cp)
+    }
 }
 
 /// Runs the composed gather-then-gossip algorithm and returns the outcome

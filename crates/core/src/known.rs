@@ -49,7 +49,7 @@ pub enum CommMode {
     Talking,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Block1 {
     Wait1(WaitRounds),
     Explo1(Explo),
@@ -57,7 +57,7 @@ enum Block1 {
     Explo2(Explo),
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Block2 {
     Wait1(WaitRounds),
     Rendezvous(RunFor<Tz>),
@@ -65,7 +65,7 @@ enum Block2 {
     Walk(Explo),
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Stage {
     Phase0Explo(Explo),
     Phase0Wait(WaitRounds),
@@ -97,7 +97,7 @@ enum Stage {
 /// let behavior = proc_.into_behavior(); // ready for Engine::add_agent
 /// # let _ = behavior;
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct GatherKnownUpperBound {
     params: KnownParams,
     label: Label,

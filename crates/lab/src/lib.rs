@@ -70,8 +70,8 @@ pub use runner::{
     run_campaign_cached,
 };
 pub use search::{
-    run_search, run_search_cached, AdversarySpace, Objective, SearchArtifacts, SearchOutcome,
-    SearchReport, SearchSpec,
+    run_search, run_search_cached, run_search_with, AdversarySpace, Objective, SearchArtifacts,
+    SearchOutcome, SearchReport, SearchSpec,
 };
 pub use store::{
     engine_fingerprint, raw_fingerprint, scenario_fingerprint, CacheStats, Store, StoreStats,

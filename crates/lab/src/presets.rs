@@ -287,6 +287,77 @@ pub fn hunt_spec_seeded(quick: bool, seed: u64) -> SearchSpec {
     }
 }
 
+/// The adversary space of the late-outage hunt: every mutable axis is a
+/// one-round scripted edge removal deep in the run's endgame. Slots below
+/// `window` are pinned to keep-all (singleton axes, so no mutation ever
+/// touches them) and the `slots` slots from `window` on choose freely
+/// among keep-all and every ring edge. Every one-mutation neighbor
+/// therefore diverges from the incumbent at round `window` or later and
+/// shares the entire prefix below it — the regime the checkpoint/fork
+/// engine is built for, and the opposite of [`hunt_space`], whose
+/// wake/crash axes all act in the first few hundred rounds of runs that
+/// last tens of thousands. Wake stays simultaneous and nothing crashes.
+pub fn late_outage_space(cfg: &InitialConfiguration, window: u64, slots: u64) -> AdversarySpace {
+    assert!(
+        is_cycle(cfg.graph()),
+        "scripted outages need a cycle base graph"
+    );
+    let edges = cfg.graph().edge_count() as u32;
+    AdversarySpace {
+        wake_offsets: cfg.labels().map(|_| vec![0]).collect(),
+        crash_rounds: Vec::new(),
+        edge_script: (0..window + slots)
+            .map(|s| {
+                if s < window {
+                    vec![ScriptedRing::KEEP_ALL]
+                } else {
+                    let mut choices = vec![ScriptedRing::KEEP_ALL];
+                    choices.extend(0..edges);
+                    choices
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The late-outage hunt the checkpoint/fork bench pair measures: silent
+/// gathering on the two smoke rings, attacked only through
+/// [`late_outage_space`] windows placed at roughly three quarters of each
+/// baseline's gather time (the unperturbed runs gather at rounds ~6.5k
+/// and ~8.7k under [`HUNT_SEED`]). The objective is the slowest gather:
+/// can a one-round outage in the endgame delay the meeting? Every
+/// candidate shares the whole pre-window prefix with the incumbent, so
+/// this workload measures the checkpoint ladder's best case honestly —
+/// the dr1/fr1 [`hunt_spec`] measures its worst.
+pub fn late_outage_spec(budget: u64) -> SearchSpec {
+    let instances = Matrix {
+        families: vec![Family::Ring],
+        sizes: vec![4, 5],
+        teams: vec![vec![2, 3]],
+        ..Matrix::new()
+    }
+    .campaign("hunt-late", HUNT_SEED)
+    .expect("late-outage campaign is well-formed")
+    .scenarios()
+    .iter()
+    .map(|s| {
+        // Window starts sit at ~75% of the baseline gather round so the
+        // removals land while the agents still move (a slot after the
+        // meeting could never matter).
+        let window = if s.key.n == 4 { 5000 } else { 7000 };
+        let space = late_outage_space(&s.cfg, window, 12);
+        (s.clone(), space)
+    })
+    .collect();
+    SearchSpec {
+        name: "hunt-late".into(),
+        seed: HUNT_SEED,
+        budget,
+        objective: Objective::SlowGather,
+        instances,
+    }
+}
+
 /// The tiny CI smoke search: two ring instances, a 12-evaluation budget —
 /// small enough to run twice per CI job, deterministic enough to byte-diff
 /// across worker counts.

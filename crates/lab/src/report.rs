@@ -182,7 +182,7 @@ pub(crate) fn record_csv_row(r: &RunRecord) -> String {
 
 /// Renders a throughput rate for the trajectory JSON: `null` when the wall
 /// clock was too coarse to measure (never a floored, inflated number).
-fn opt_rate(v: Option<f64>) -> String {
+pub(crate) fn opt_rate(v: Option<f64>) -> String {
     v.map_or_else(|| "null".into(), |x| format!("{x:.1}"))
 }
 

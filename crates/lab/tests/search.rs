@@ -8,7 +8,11 @@
 //! 2. **Worker-count determinism.** The search report (JSON and CSV) is
 //!    byte-identical for any worker count — the property the CI smoke
 //!    step diffs.
-//! 3. **The falsifier falsifies.** The hunt presets find at least one
+//! 3. **Fork-mode determinism.** Checkpoint-forked evaluation and
+//!    from-scratch evaluation produce byte-identical reports over
+//!    randomly drawn spaces — the other property CI diffs — and the
+//!    forked path demonstrably engages on the hunt presets.
+//! 4. **The falsifier falsifies.** The hunt presets find at least one
 //!    instance where silent gathering genuinely fails.
 
 use proptest::prelude::*;
@@ -17,8 +21,8 @@ use nochatter_graph::generators::Family;
 use nochatter_graph::Label;
 use nochatter_lab::presets::{hunt_smoke_spec, hunt_space, hunt_spec};
 use nochatter_lab::{
-    execute_scenario, run_search, scenario_seed, spread, AdversarySpace, Objective, Scenario,
-    ScenarioKey, ScenarioKind, SearchSpec,
+    execute_scenario, run_search, run_search_with, scenario_seed, spread, AdversarySpace,
+    Objective, Scenario, ScenarioKey, ScenarioKind, SearchSpec,
 };
 use nochatter_sim::{ScriptedRing, TopologySpec, WakeSchedule};
 
@@ -179,6 +183,35 @@ proptest! {
             &outcome.witness.key.instance_canonical()
         );
     }
+
+    #[test]
+    fn forked_evaluation_is_bitwise_equivalent_to_from_scratch(d in drawn()) {
+        let (base, space) = build(&d);
+        let spec = SearchSpec {
+            name: "fork-mode".into(),
+            seed: d.seed,
+            budget: d.budget,
+            objective: if d.objective_failure {
+                Objective::Failure
+            } else {
+                Objective::SlowGather
+            },
+            instances: vec![(base, space)],
+        };
+        let forked = run_search_with(&spec, 2, None, true);
+        let scratch = run_search_with(&spec, 2, None, false);
+        // The walk, the witnesses and both deterministic reports must not
+        // betray how candidates were executed — byte for byte, over
+        // arbitrary wake/crash/edge-script spaces.
+        prop_assert_eq!(forked.to_json(), scratch.to_json());
+        prop_assert_eq!(forked.to_csv(), scratch.to_csv());
+        prop_assert_eq!(scratch.total_forked_evals(), 0);
+        prop_assert_eq!(scratch.total_ladder_rounds(), 0);
+        for (f, s) in forked.outcomes.iter().zip(&scratch.outcomes) {
+            prop_assert_eq!(&f.record, &s.record);
+            prop_assert_eq!(&f.witness.key.canonical(), &s.witness.key.canonical());
+        }
+    }
 }
 
 #[test]
@@ -192,6 +225,29 @@ fn search_reports_are_byte_identical_across_worker_counts() {
         assert_eq!(json, many.to_json(), "workers = {workers}");
         assert_eq!(csv, many.to_csv(), "workers = {workers}");
     }
+}
+
+#[test]
+fn the_smoke_hunt_forks_and_is_report_blind_to_it() {
+    let spec = hunt_smoke_spec();
+    let forked = run_search_with(&spec, 2, None, true);
+    let scratch = run_search_with(&spec, 2, None, false);
+    assert_eq!(forked.to_json(), scratch.to_json());
+    assert_eq!(forked.to_csv(), scratch.to_csv());
+    // Non-vacuity at preset scale: the hunt's deep crash rounds (16, 64,
+    // 512) must actually ride the ladder or the terminal short-circuit,
+    // and the net executed work must drop, ladder cost included.
+    assert!(
+        forked.total_forked_evals() > 0,
+        "the smoke hunt never forked an evaluation"
+    );
+    assert!(
+        forked.total_executed_rounds() < scratch.total_executed_rounds(),
+        "forking must execute strictly fewer engine iterations \
+         (forked {} vs from-scratch {})",
+        forked.total_executed_rounds(),
+        scratch.total_executed_rounds()
+    );
 }
 
 #[test]
