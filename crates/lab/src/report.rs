@@ -251,6 +251,16 @@ impl CampaignReport {
         Some(total as f64 / self.wall_secs()?)
     }
 
+    /// Behavior polls executed per wall-clock second — the sparse round
+    /// loop's honest denominator, mirroring the executed-vs-model rounds
+    /// split: the sparse win shows up here as *fewer polls for the same
+    /// reports*, never as inflated throughput. `None` when the wall clock
+    /// was too coarse.
+    pub fn polled_rounds_per_sec(&self) -> Option<f64> {
+        let total: u64 = self.records.iter().map(|r| r.polled_agent_rounds).sum();
+        Some(total as f64 / self.wall_secs()?)
+    }
+
     /// Looks up the record of a key by canonical form.
     pub fn record(&self, canonical_key: &str) -> Option<&RunRecord> {
         self.records
@@ -401,6 +411,7 @@ impl CampaignReport {
             .map(|r| u64::from(r.crashed_agents))
             .sum();
         let total_iters: u64 = self.records.iter().map(|r| r.engine_iterations).sum();
+        let total_polled: u64 = self.records.iter().map(|r| r.polled_agent_rounds).sum();
         let mut families: Vec<&str> = self.records.iter().map(|r| r.key.family.as_str()).collect();
         families.sort_unstable();
         families.dedup();
@@ -429,6 +440,7 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"total_blocked_moves\": {total_blocked},");
         let _ = writeln!(out, "  \"total_crashed_agents\": {total_crashed},");
         let _ = writeln!(out, "  \"total_engine_iterations\": {total_iters},");
+        let _ = writeln!(out, "  \"total_polled_agent_rounds\": {total_polled},");
         // Cache fields appear only on cached runs, so uncached trajectory
         // artifacts keep their exact historical shape.
         if let Some(cache) = self.cache {
@@ -454,8 +466,13 @@ impl CampaignReport {
         );
         let _ = writeln!(
             out,
-            "  \"engine_iterations_per_sec\": {}",
+            "  \"engine_iterations_per_sec\": {},",
             opt_rate(self.engine_iterations_per_sec())
+        );
+        let _ = writeln!(
+            out,
+            "  \"polled_rounds_per_sec\": {}",
+            opt_rate(self.polled_rounds_per_sec())
         );
         let _ = writeln!(out, "}}");
         out

@@ -265,6 +265,7 @@ pub(crate) fn base_record(scenario: &Scenario) -> RunRecord {
         crashed_agents: 0,
         engine_iterations: 0,
         skipped_rounds: 0,
+        polled_agent_rounds: 0,
         max_colocation: 0,
         leader: None,
         node: None,
@@ -469,6 +470,7 @@ fn fill_outcome(record: &mut RunRecord, outcome: &RunOutcome) {
     record.crashed_agents = outcome.crashed_agents.len() as u32;
     record.engine_iterations = outcome.engine_iterations;
     record.skipped_rounds = outcome.skipped_rounds;
+    record.polled_agent_rounds = outcome.polled_agent_rounds;
     record.max_colocation = outcome.max_colocation;
     record.trace_digest = outcome.trace.as_ref().map(trace_digest);
 }

@@ -54,7 +54,7 @@ use crate::runner;
 /// The on-disk format version. Part of both the log filename and every
 /// fingerprint: bumping it makes every pre-existing cache entry a miss
 /// without touching (or misreading) old files.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// Log file header: magic bytes followed by the format version.
 const FILE_MAGIC: &[u8; 8] = b"NCSTORE\0";
@@ -141,6 +141,7 @@ pub(crate) fn encode_record(r: &RunRecord) -> Vec<u8> {
     put_u32(&mut buf, r.crashed_agents);
     put_u64(&mut buf, r.engine_iterations);
     put_u64(&mut buf, r.skipped_rounds);
+    put_u64(&mut buf, r.polled_agent_rounds);
     put_u32(&mut buf, r.max_colocation);
     put_opt_u64(&mut buf, r.leader);
     put_opt_u32(&mut buf, r.node);
@@ -244,6 +245,7 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Option<RunRecord> {
         crashed_agents: r.u32()?,
         engine_iterations: r.u64()?,
         skipped_rounds: r.u64()?,
+        polled_agent_rounds: r.u64()?,
         max_colocation: r.u32()?,
         leader: r.opt_u64()?,
         node: r.opt_u32()?,
@@ -395,6 +397,12 @@ fn probe_scenarios() -> Vec<Scenario> {
 /// trace digests, validation — changes this value, and with it every
 /// scenario fingerprint, so a stale cache degrades to all-misses instead
 /// of serving records the current engine would not produce.
+///
+/// The encoded probes include `polled_agent_rounds`, the one counter on
+/// which the sparse and dense (`NOCHATTER_DENSE_LOOP=1`) round loops
+/// differ — so the two loop modes fingerprint differently and a cache
+/// written under one mode is all-misses under the other, instead of
+/// replaying the other mode's poll counts.
 pub fn engine_fingerprint() -> u64 {
     static FP: OnceLock<u64> = OnceLock::new();
     *FP.get_or_init(|| {

@@ -24,7 +24,11 @@
 //! a run that fast-forwards past its siblings is left alone until the
 //! clock catches up; runs due in the same global round step in push
 //! order. The shared scratch is restored to its all-zero invariant at the
-//! end of every step, so interleaving is invisible to the runs.
+//! end of every step, so interleaving is invisible to the runs. The
+//! sparse round loop composes for free: each `ActiveRun` owns its own
+//! worklists, park state, incremental occupancy and event cursors, so
+//! runs in one batch park and wake their agents independently while
+//! sharing only the semantic-state-free scratch buffers.
 //!
 //! Failure is per-run: a run whose behavior commits a protocol violation
 //! resolves to its own `Err` and the rest of the batch keeps going.

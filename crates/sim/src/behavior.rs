@@ -53,7 +53,14 @@ pub enum AgentAct {
 /// Implemented for you by [`ProcBehavior`], which adapts any
 /// [`Procedure`] whose output is a [`Declaration`] (or `()`).
 /// The `min_wait`/`note_skipped` pair follows the same contract as
-/// [`Procedure`] and powers the engine's quiescence fast-forward.
+/// [`Procedure`] and powers both the engine's quiescence fast-forward and
+/// the sparse round loop's per-agent parking: an agent that waits with a
+/// positive horizon is taken off the poll worklist until the horizon
+/// expires, its node's occupancy changes, or an adversary event lands.
+/// The contract is what makes that sound — `min_wait` must hold under
+/// identical observations, and a violation acts *later* than promised,
+/// not just slower (`crates/sim/tests/promises.rs` property-tests every
+/// built-in combinator against it, and debug builds assert it live).
 pub trait AgentBehavior {
     /// Decides this round's action from the observation.
     fn on_round(&mut self, obs: &Obs) -> AgentAct;

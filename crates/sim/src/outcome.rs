@@ -57,6 +57,14 @@ pub struct RunOutcome {
     pub engine_iterations: u64,
     /// Rounds skipped by the quiescence fast-forward.
     pub skipped_rounds: u64,
+    /// Behavior polls actually executed (`on_round` calls) — the honest
+    /// cost denominator of the sparse round loop. This is the *only*
+    /// field on which the sparse and dense (`NOCHATTER_DENSE_LOOP=1`)
+    /// loops may differ: the sparse loop skips polls whose answer is
+    /// promised by a wait horizon, everything else is bitwise identical.
+    /// Excluded from the deterministic lab reports for exactly that
+    /// reason; surfaced as a campaign-level trajectory aggregate instead.
+    pub polled_agent_rounds: u64,
     /// The largest number of co-located agents ever observed.
     pub max_colocation: u32,
     /// The recorded trace, if tracing was enabled.
@@ -289,6 +297,7 @@ mod tests {
             blocked_moves: 0,
             engine_iterations: 0,
             skipped_rounds: 0,
+            polled_agent_rounds: 0,
             max_colocation: 2,
             trace: None,
         }

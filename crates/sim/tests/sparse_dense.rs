@@ -1,0 +1,659 @@
+//! The sparse round loop's equivalence contract, property-tested: for any
+//! scenario, the event-driven loop (per-agent wait horizons, dirty-node
+//! re-polling, event cursors) and the dense reference loop produce bitwise
+//! identical outcomes and traces. The *only* field allowed to differ is
+//! `polled_agent_rounds` — the honest measure of the work the sparse loop
+//! avoids — and even that may only ever be *lower* under the sparse loop.
+//!
+//! The property sweeps graph families, sensing modes, wake schedules,
+//! static and round-varying topologies, crash faults, and a behavior mix
+//! that parks agents on real `min_wait` horizons (so all three re-poll
+//! triggers — horizon expiry, occupancy change, adversary events — fire in
+//! anger). Unit tests below pin each trigger ordering individually.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use nochatter_graph::dynamic::{PeriodicEdges, SeededEdgeFailure};
+use nochatter_graph::generators::Family;
+use nochatter_graph::rng::Rng;
+use nochatter_graph::{Graph, Label, NodeId, Port};
+use nochatter_sim::proc::{
+    ProcBehavior, Procedure, RunFor, UntilCardExceeds, WaitCardStable, WaitRounds,
+};
+use nochatter_sim::{
+    Action, AgentBehavior, CrashPoint, Declaration, Engine, FaultSpec, Obs, Poll, RunOutcome,
+    Sensing, TopologySpec, WakeSchedule,
+};
+
+/// A seeded random walker (same shape as the determinism suite's): waits
+/// or takes a random port for a seed-determined number of rounds, then
+/// declares its move count. The movers are what dirty nodes and wake the
+/// parked waiters below.
+struct SeededWalker {
+    rng: Rng,
+    steps: u32,
+    moves: u32,
+}
+
+impl SeededWalker {
+    fn new(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let steps = rng.range(60) as u32;
+        SeededWalker {
+            rng,
+            steps,
+            moves: 0,
+        }
+    }
+}
+
+impl Procedure for SeededWalker {
+    type Output = u32;
+    fn poll(&mut self, obs: &Obs) -> Poll<u32> {
+        if self.steps == 0 {
+            return Poll::Complete(self.moves);
+        }
+        self.steps -= 1;
+        if self.rng.bool() {
+            Poll::Yield(Action::Wait)
+        } else {
+            self.moves += 1;
+            Poll::Yield(Action::TakePort(Port::new(
+                self.rng.range(u64::from(obs.degree)) as u32,
+            )))
+        }
+    }
+}
+
+fn declare(size: u32) -> Declaration {
+    Declaration {
+        leader: None,
+        size: Some(size),
+    }
+}
+
+/// Picks a behavior for agent `i` from a seed-determined mix. Movers
+/// dominate slot 0–1 so runs stay lively; the rest are wait-heavy
+/// combinators with genuine `min_wait` horizons, so the sparse loop
+/// actually parks them (and must wake them back up correctly).
+fn mixed_behavior(seed: u64, i: usize) -> Box<dyn AgentBehavior> {
+    let s = nochatter_graph::rng::derive_seed(seed, &[i as u64]);
+    match s % 5 {
+        0 | 1 => Box::new(ProcBehavior::mapping(SeededWalker::new(s), declare)),
+        2 => Box::new(ProcBehavior::mapping(WaitRounds::new(s % 80), |()| {
+            declare(0)
+        })),
+        3 => Box::new(ProcBehavior::mapping(
+            UntilCardExceeds::new(1, WaitRounds::new(400)),
+            |out| declare(out.was_interrupted() as u32),
+        )),
+        _ => Box::new(ProcBehavior::mapping(
+            RunFor::new(s % 97, WaitCardStable::new(s % 6 + 2, 0, None)),
+            |out| declare(out.is_some() as u32),
+        )),
+    }
+}
+
+type ScenarioDraw = (
+    Graph,
+    Vec<u32>,
+    u64,
+    WakeSchedule,
+    Sensing,
+    TopologySpec,
+    FaultSpec,
+);
+
+fn scenario_strategy() -> impl Strategy<Value = ScenarioDraw> {
+    (
+        (0usize..4, 4u32..9, any::<u64>(), 0u64..3),
+        (any::<bool>(), 0usize..3, 0usize..4),
+    )
+        .prop_map(|((family, n, seed, sched), (traditional, topo, fault))| {
+            let family = [
+                Family::Ring,
+                Family::Grid,
+                Family::RandomTree,
+                Family::RandomConnected,
+            ][family];
+            let graph = family.instantiate(n, seed);
+            let n_actual = graph.node_count() as u32;
+            let starts = vec![0, n_actual / 3 + 1, 2 * n_actual / 3 + 1];
+            let schedule = match sched {
+                0 => WakeSchedule::Simultaneous,
+                1 => WakeSchedule::FirstOnly,
+                _ => WakeSchedule::Staggered { gap: seed % 7 + 1 },
+            };
+            let sensing = if traditional {
+                Sensing::Traditional
+            } else {
+                Sensing::Weak
+            };
+            let topo = match topo {
+                0 => TopologySpec::Static,
+                1 => TopologySpec::Periodic(PeriodicEdges {
+                    period: 3,
+                    offset: seed % 3,
+                }),
+                _ => TopologySpec::EdgeFailure(SeededEdgeFailure { p: 0.3, seed }),
+            };
+            // Crash rounds stretch past typical park horizons so crashes
+            // preempt parked agents, not just active ones.
+            let fault = match fault {
+                0 => FaultSpec::None,
+                1 => FaultSpec::CrashAt(vec![CrashPoint {
+                    label: Label::new(2).unwrap(),
+                    round: seed % 150,
+                }]),
+                2 => FaultSpec::CrashAt(vec![
+                    CrashPoint {
+                        label: Label::new(1).unwrap(),
+                        round: seed % 60,
+                    },
+                    CrashPoint {
+                        label: Label::new(3).unwrap(),
+                        round: seed % 150,
+                    },
+                ]),
+                _ => FaultSpec::SeededCrash {
+                    p: 0.02,
+                    seed,
+                    max_crashes: 2,
+                },
+            };
+            (graph, starts, seed, schedule, sensing, topo, fault)
+        })
+}
+
+fn distinct(starts: &[u32]) -> bool {
+    starts[0] != starts[1] && starts[1] != starts[2] && starts[0] != starts[2]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    graph: &Graph,
+    starts: &[u32],
+    seed: u64,
+    schedule: &WakeSchedule,
+    sensing: Sensing,
+    topo: &TopologySpec,
+    fault: &FaultSpec,
+    dense: bool,
+) -> RunOutcome {
+    let mut engine = Engine::with_topology(graph, topo);
+    engine.set_dense_loop(dense);
+    engine.record_trace(1 << 14);
+    engine.set_sensing(sensing);
+    for (i, &start) in starts.iter().enumerate() {
+        engine.add_agent(
+            Label::new(i as u64 + 1).unwrap(),
+            NodeId::new(start),
+            mixed_behavior(seed, i),
+        );
+    }
+    engine.set_wake_schedule(schedule.clone());
+    engine.set_faults(fault.clone());
+    engine.run(500).unwrap()
+}
+
+/// Debug-compare two outcomes with `polled_agent_rounds` masked out — it is
+/// the one field the loops are allowed to disagree on.
+fn assert_equal_masking_polls(
+    sparse: &RunOutcome,
+    dense: &RunOutcome,
+) -> Result<(), TestCaseError> {
+    let mut s = sparse.clone();
+    let mut d = dense.clone();
+    s.polled_agent_rounds = 0;
+    d.polled_agent_rounds = 0;
+    prop_assert_eq!(format!("{s:?}"), format!("{d:?}"));
+    let (ts, td) = (
+        sparse.trace.as_ref().unwrap(),
+        dense.trace.as_ref().unwrap(),
+    );
+    prop_assert_eq!(ts.events(), td.events());
+    prop_assert_eq!(ts.dropped(), td.dropped());
+    prop_assert!(
+        sparse.polled_agent_rounds <= dense.polled_agent_rounds,
+        "sparse loop polled more ({}) than dense ({})",
+        sparse.polled_agent_rounds,
+        dense.polled_agent_rounds
+    );
+    Ok(())
+}
+
+proptest! {
+    /// The headline contract: sparse and dense loops are bitwise identical
+    /// on every outcome field and every trace event, across topologies,
+    /// sensing modes, schedules and crash faults — and the sparse loop
+    /// never polls a behavior the dense loop wouldn't have.
+    #[test]
+    fn sparse_and_dense_loops_are_bitwise_identical(
+        (graph, starts, seed, schedule, sensing, topo, fault) in scenario_strategy()
+    ) {
+        prop_assume!(distinct(&starts));
+        let sparse = run_mode(&graph, &starts, seed, &schedule, sensing, &topo, &fault, false);
+        let dense = run_mode(&graph, &starts, seed, &schedule, sensing, &topo, &fault, true);
+        assert_equal_masking_polls(&sparse, &dense)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trigger-ordering unit tests: each re-poll trigger pinned in isolation.
+// ---------------------------------------------------------------------------
+
+/// BFS the port-path from `from` to `to` (the graphs here are small and
+/// connected, so a path always exists).
+fn port_path(graph: &Graph, from: NodeId, to: NodeId) -> Vec<Port> {
+    let mut prev: Vec<Option<(NodeId, Port)>> = vec![None; graph.node_count()];
+    let mut queue = VecDeque::from([from]);
+    let mut seen = vec![false; graph.node_count()];
+    seen[from.index()] = true;
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            break;
+        }
+        for port in 0..graph.degree(node) {
+            let port = Port::new(port);
+            let (next, _) = graph.neighbor(node, port).unwrap();
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                prev[next.index()] = Some((node, port));
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (node, port) = prev[cur.index()].expect("graph is connected");
+        path.push(port);
+        cur = node;
+    }
+    path.reverse();
+    path
+}
+
+/// A mover that walks a fixed path, then waits forever. Used to deliver an
+/// occupancy change to a parked agent at a known round.
+struct PathThenIdle {
+    path: std::vec::IntoIter<Port>,
+}
+
+impl Procedure for PathThenIdle {
+    type Output = ();
+    fn poll(&mut self, _obs: &Obs) -> Poll<()> {
+        match self.path.next() {
+            Some(p) => Poll::Yield(Action::TakePort(p)),
+            None => Poll::Yield(Action::Wait),
+        }
+    }
+    fn min_wait(&self) -> u64 {
+        if self.path.as_slice().is_empty() {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+}
+
+/// Runs the same setup under both loops and checks outcome equality (polls
+/// masked); returns the sparse outcome for further assertions.
+fn run_pair<'g>(mut build: impl FnMut(bool) -> Engine<'g>) -> RunOutcome {
+    let mut go = |dense: bool| {
+        let mut engine = build(dense);
+        engine.set_dense_loop(dense);
+        engine.run(500).unwrap()
+    };
+    let sparse = go(false);
+    let dense = go(true);
+    let mut s = sparse.clone();
+    let mut d = dense.clone();
+    s.polled_agent_rounds = 0;
+    d.polled_agent_rounds = 0;
+    assert_eq!(format!("{s:?}"), format!("{d:?}"));
+    assert_eq!(
+        sparse.trace.as_ref().unwrap().events(),
+        dense.trace.as_ref().unwrap().events()
+    );
+    assert!(sparse.polled_agent_rounds <= dense.polled_agent_rounds);
+    sparse
+}
+
+/// Trigger 1 — horizon expiry: a lone `WaitRounds` agent parks on its full
+/// horizon, is re-polled only when the horizon runs out, and still declares
+/// at exactly the same round as under the dense loop.
+#[test]
+fn horizon_expiry_re_polls_at_the_promised_round() {
+    let graph = Family::Ring.instantiate(6, 1);
+    let sparse = run_pair(|_| {
+        let mut engine = Engine::new(&graph);
+        engine.record_trace(64);
+        engine.add_agent(
+            Label::new(1).unwrap(),
+            NodeId::new(0),
+            Box::new(ProcBehavior::mapping(WaitRounds::new(40), |()| declare(0)))
+                as Box<dyn AgentBehavior>,
+        );
+        engine
+    });
+    let (_, rec) = &sparse.declarations[0];
+    assert_eq!(rec.unwrap().round, 40);
+    // A lone waiter is pure quiescence: fast-forward covers the wait in a
+    // handful of polls, nowhere near one poll per round.
+    assert!(
+        sparse.polled_agent_rounds < 10,
+        "expected a fast-forwarded park, got {} polls",
+        sparse.polled_agent_rounds
+    );
+}
+
+/// Trigger 2 — occupancy change: an agent parked on a huge horizon
+/// (`UntilCardExceeds` over `WaitRounds(400)`) must be woken the moment a
+/// walker reaches its node, long before the horizon expires.
+#[test]
+fn occupancy_change_preempts_a_parked_horizon() {
+    let graph = Family::Grid.instantiate(6, 3);
+    let target = NodeId::new(0);
+    let start = NodeId::new(graph.node_count() as u32 - 1);
+    let path = port_path(&graph, start, target);
+    let arrival = path.len() as u64; // moves land at end of rounds 0..len-1
+    let sparse = run_pair(|_| {
+        let mut engine = Engine::new(&graph);
+        engine.record_trace(256);
+        engine.add_agent(
+            Label::new(1).unwrap(),
+            target,
+            Box::new(ProcBehavior::mapping(
+                UntilCardExceeds::new(1, WaitRounds::new(400)),
+                |out| declare(out.was_interrupted() as u32),
+            )) as Box<dyn AgentBehavior>,
+        );
+        engine.add_agent(
+            Label::new(2).unwrap(),
+            start,
+            Box::new(ProcBehavior::mapping(
+                PathThenIdle {
+                    path: path.clone().into_iter(),
+                },
+                |()| declare(0),
+            )) as Box<dyn AgentBehavior>,
+        );
+        engine
+    });
+    let (_, rec) = &sparse.declarations[0];
+    let rec = rec.expect("the parked agent must be interrupted and declare");
+    assert_eq!(
+        rec.declaration.size,
+        Some(1),
+        "declaration must record the interruption"
+    );
+    assert_eq!(
+        rec.round, arrival,
+        "the parked agent must act in the round the walker arrives, \
+         not when its 400-round horizon expires"
+    );
+}
+
+/// Trigger 3 — adversary events: a crash lands on an agent parked behind a
+/// huge horizon at exactly its scheduled round, and a wake-schedule event
+/// activates a dormant agent mid-quiescence. Both must preempt parking.
+#[test]
+fn crash_preempts_a_parked_horizon() {
+    let graph = Family::Ring.instantiate(5, 1);
+    let sparse = run_pair(|_| {
+        let mut engine = Engine::new(&graph);
+        engine.record_trace(64);
+        engine.add_agent(
+            Label::new(1).unwrap(),
+            NodeId::new(0),
+            Box::new(ProcBehavior::mapping(WaitRounds::new(10_000), |()| {
+                declare(0)
+            })) as Box<dyn AgentBehavior>,
+        );
+        engine.add_agent(
+            Label::new(2).unwrap(),
+            NodeId::new(2),
+            Box::new(ProcBehavior::mapping(WaitRounds::new(3), |()| declare(0)))
+                as Box<dyn AgentBehavior>,
+        );
+        engine.set_faults(FaultSpec::CrashAt(vec![CrashPoint {
+            label: Label::new(1).unwrap(),
+            round: 123,
+        }]));
+        engine
+    });
+    assert_eq!(sparse.crashed_agents, vec![Label::new(1).unwrap()]);
+    let crash = sparse
+        .trace
+        .as_ref()
+        .unwrap()
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            nochatter_sim::TraceEvent::Crashed { round, .. } => Some(*round),
+            _ => None,
+        })
+        .expect("crash must be traced");
+    assert_eq!(
+        crash, 123,
+        "the crash must land in its exact round even though the victim \
+         was parked until round 10000"
+    );
+}
+
+/// A staggered wake re-activates a dormant agent while everyone else is
+/// parked; the woken agent's moves then dirty nodes as usual.
+#[test]
+fn staggered_wake_fires_during_quiescence() {
+    let graph = Family::Ring.instantiate(6, 2);
+    run_pair(|_| {
+        let mut engine = Engine::new(&graph);
+        engine.record_trace(256);
+        for (i, start) in [0u32, 2, 4].into_iter().enumerate() {
+            engine.add_agent(
+                Label::new(i as u64 + 1).unwrap(),
+                NodeId::new(start),
+                Box::new(ProcBehavior::mapping(
+                    WaitRounds::new(50 + 10 * i as u64),
+                    |()| declare(0),
+                )) as Box<dyn AgentBehavior>,
+            );
+        }
+        engine.set_wake_schedule(WakeSchedule::Staggered { gap: 17 });
+        engine
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume mid-wait, across every donor-mode x resume-mode pair.
+// ---------------------------------------------------------------------------
+
+/// A cloneable seeded walker (forkable, unlike the boxed-dyn mix above):
+/// the engine's checkpoint machinery requires behaviors that can be
+/// duplicated mid-run.
+#[derive(Clone)]
+struct CloneWalker {
+    rng: Rng,
+    steps: u32,
+}
+
+impl Procedure for CloneWalker {
+    type Output = u32;
+    fn poll(&mut self, obs: &Obs) -> Poll<u32> {
+        if self.steps == 0 {
+            return Poll::Complete(0);
+        }
+        self.steps -= 1;
+        if self.rng.bool() {
+            Poll::Yield(Action::Wait)
+        } else {
+            Poll::Yield(Action::TakePort(Port::new(
+                self.rng.range(u64::from(obs.degree)) as u32,
+            )))
+        }
+    }
+}
+
+/// One concrete, cloneable behavior type covering the whole mix (the
+/// engine's behavior storage must unify on a single `B` for `Box<B>` to be
+/// forkable via `Clone`).
+#[derive(Clone)]
+enum MixedProc {
+    Walk(CloneWalker),
+    Idle(WaitRounds),
+    Card(UntilCardExceeds<WaitRounds>),
+}
+
+impl Procedure for MixedProc {
+    type Output = u32;
+    fn poll(&mut self, obs: &Obs) -> Poll<u32> {
+        match self {
+            MixedProc::Walk(p) => p.poll(obs),
+            MixedProc::Idle(p) => p.poll(obs).map(|()| 0),
+            MixedProc::Card(p) => p.poll(obs).map(|out| out.was_interrupted() as u32),
+        }
+    }
+    fn min_wait(&self) -> u64 {
+        match self {
+            MixedProc::Walk(p) => p.min_wait(),
+            MixedProc::Idle(p) => p.min_wait(),
+            MixedProc::Card(p) => p.min_wait(),
+        }
+    }
+    fn note_skipped(&mut self, rounds: u64) {
+        match self {
+            MixedProc::Walk(p) => p.note_skipped(rounds),
+            MixedProc::Idle(p) => p.note_skipped(rounds),
+            MixedProc::Card(p) => p.note_skipped(rounds),
+        }
+    }
+}
+
+type ForkableMix = Box<ProcBehavior<MixedProc, fn(u32) -> Declaration>>;
+
+fn forkable_engine(graph: &Graph, dense: bool) -> Engine<'_, nochatter_sim::Static, ForkableMix> {
+    let mut engine: Engine<'_, nochatter_sim::Static, ForkableMix> =
+        Engine::with_parts(graph, &nochatter_sim::Static);
+    engine.set_dense_loop(dense);
+    engine.record_trace(1 << 12);
+    let procs = [
+        MixedProc::Walk(CloneWalker {
+            rng: Rng::seed_from(11),
+            steps: 30,
+        }),
+        MixedProc::Idle(WaitRounds::new(60)),
+        MixedProc::Idle(WaitRounds::new(75)),
+        MixedProc::Card(UntilCardExceeds::new(1, WaitRounds::new(300))),
+    ];
+    for (i, proc_) in procs.into_iter().enumerate() {
+        engine.add_agent(
+            Label::new(i as u64 + 1).unwrap(),
+            NodeId::new(i as u32 * 2),
+            Box::new(ProcBehavior::mapping(
+                proc_,
+                declare as fn(u32) -> Declaration,
+            )),
+        );
+    }
+    engine
+}
+
+/// A checkpoint taken while agents sit parked mid-`min_wait` resumes
+/// bitwise into either loop, from either loop: the park state is either
+/// carried verbatim (sparse→sparse), dissolved by catching behaviors up
+/// (→dense), or rebuilt from the captured columns (dense→sparse).
+#[test]
+fn mid_wait_checkpoints_resume_bitwise_across_mode_pairs() {
+    use nochatter_sim::{ActiveRun, EngineScratch};
+
+    let graph = Family::Ring.instantiate(9, 4);
+    // Reference outcome: a fresh dense run, polls masked below.
+    let reference = {
+        let mut scratch = EngineScratch::new();
+        forkable_engine(&graph, true)
+            .run_with_scratch(500, &mut scratch)
+            .unwrap()
+    };
+    for donor_dense in [false, true] {
+        for resume_dense in [false, true] {
+            let mut scratch = EngineScratch::new();
+            let mut donor =
+                ActiveRun::begin(forkable_engine(&graph, donor_dense), 500, &mut scratch).unwrap();
+            // Step into the thick of the waits: the two `WaitRounds`
+            // agents are parked under the sparse loop by round 12.
+            while donor.next_round() < 12 {
+                assert!(
+                    donor.step(&mut scratch).is_none(),
+                    "the run must still be live at round 12"
+                );
+            }
+            let cp = donor.checkpoint().expect("forkable behaviors snapshot");
+            let mut resumed =
+                ActiveRun::begin(forkable_engine(&graph, resume_dense), 500, &mut scratch).unwrap();
+            assert!(resumed.resume_from(&cp), "shapes match, behaviors fork");
+            let outcome = loop {
+                if let Some(result) = resumed.step(&mut scratch) {
+                    break result.unwrap();
+                }
+            };
+            let mut masked = outcome.clone();
+            let mut expected = reference.clone();
+            masked.polled_agent_rounds = 0;
+            expected.polled_agent_rounds = 0;
+            assert_eq!(
+                format!("{masked:?}"),
+                format!("{expected:?}"),
+                "mid-wait resume diverged for donor_dense={donor_dense} \
+                 resume_dense={resume_dense}"
+            );
+            assert_eq!(
+                outcome.trace.as_ref().unwrap().events(),
+                reference.trace.as_ref().unwrap().events()
+            );
+        }
+    }
+}
+
+/// The sparse loop's whole point, measured: a mostly-parked team costs far
+/// fewer behavior polls than the dense loop's poll-everyone-every-round.
+#[test]
+fn parked_agents_slash_polled_rounds() {
+    let graph = Family::Ring.instantiate(8, 1);
+    let run = |dense: bool| {
+        let mut engine = Engine::new(&graph);
+        engine.set_dense_loop(dense);
+        // One walker circles the ring; seven waiters park on long horizons.
+        engine.add_agent(
+            Label::new(1).unwrap(),
+            NodeId::new(0),
+            Box::new(ProcBehavior::mapping(
+                PathThenIdle {
+                    path: vec![Port::new(0); 64].into_iter(),
+                },
+                |()| declare(0),
+            )) as Box<dyn AgentBehavior>,
+        );
+        for i in 1..8u32 {
+            engine.add_agent(
+                Label::new(u64::from(i) + 1).unwrap(),
+                NodeId::new(i),
+                Box::new(ProcBehavior::mapping(WaitRounds::new(100_000), |()| {
+                    declare(0)
+                })) as Box<dyn AgentBehavior>,
+            );
+        }
+        engine.run(64).unwrap()
+    };
+    let sparse = run(false);
+    let dense = run(true);
+    assert_eq!(sparse.rounds, dense.rounds);
+    assert!(
+        sparse.polled_agent_rounds * 2 <= dense.polled_agent_rounds,
+        "expected at least a 2x poll reduction, got sparse {} vs dense {}",
+        sparse.polled_agent_rounds,
+        dense.polled_agent_rounds
+    );
+}
